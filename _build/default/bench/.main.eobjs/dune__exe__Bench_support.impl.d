@@ -1,0 +1,1 @@
+bench/bench_support.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Printf String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Array Ast Bechamel Bench_support Core Database Effect Engine Eval Handle Instance_engine List Parser Printf Rules Schema Selection Staged String Sys System Test Trans_info Value

@@ -1,0 +1,65 @@
+(* Shared machinery for the benchmark harness: running Bechamel tests
+   and printing result tables.
+
+   Every experiment in main.ml produces one printed table; the rows
+   come from OLS estimates (nanoseconds per run) of the monotonic
+   clock.  Numbers are indicative (an in-memory engine on whatever
+   machine runs the bench); EXPERIMENTS.md records the qualitative
+   shapes that must hold. *)
+
+open Bechamel
+open Toolkit
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+
+let instances = Instance.[ monotonic_clock ]
+
+let default_cfg =
+  Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~stabilize:false
+    ~kde:None ()
+
+(* Run a test (possibly grouped/indexed) and return (name, ns/run)
+   rows in the order Bechamel produced them. *)
+let run_test ?(cfg = default_cfg) test =
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Test.names test in
+  List.filter_map
+    (fun name ->
+      match Hashtbl.find_opt results name with
+      | None -> None
+      | Some ols_result -> (
+        match Analyze.OLS.estimates ols_result with
+        | Some (est :: _) -> Some (name, est)
+        | Some [] | None -> None))
+    names
+
+let pretty_ns ns =
+  if ns < 1_000.0 then Printf.sprintf "%8.1f ns" ns
+  else if ns < 1_000_000.0 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else if ns < 1_000_000_000.0 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%8.2f s " (ns /. 1e9)
+
+let print_header id title claim =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "claim: %s\n" claim;
+  Printf.printf "%s\n" (String.make 78 '-')
+
+let print_table columns rows =
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length columns)
+      rows
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cells = String.concat " | " (List.map2 pad cells widths) in
+  print_endline (line columns);
+  print_endline
+    (String.concat "-+-" (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> print_endline (line row)) rows
+
+let ratio a b = if b = 0.0 then "n/a" else Printf.sprintf "%6.2fx" (a /. b)

@@ -1,0 +1,10 @@
+-- CLI smoke script: exercised by `dune runtest` via a golden diff.
+create table emp (name string, emp_no int primary key, salary float);
+create rule floor_salary
+when updated emp.salary
+if exists (select * from new updated emp.salary where salary < 0)
+then rollback;;
+insert into emp values ('ada', 1, 100), ('bob', 2, 200);
+update emp set salary = salary - 500;
+update emp set salary = salary + 50;
+select name, salary from emp order by emp_no;

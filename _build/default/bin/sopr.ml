@@ -1,0 +1,176 @@
+(* sopr — an interactive shell / script runner for the set-oriented
+   production rules system.
+
+   Usage:
+     sopr                 start an interactive session
+     sopr -f script.sql   execute a script, then exit
+     sopr -f s.sql -i     execute a script, then go interactive
+     sopr -e "sql"        execute one statement and exit
+
+   Statements end with ';'.  Meta-commands in interactive mode:
+     \q            quit
+     \analyze      print the static rule analysis report
+     \stats        print engine statistics
+     \help         this list *)
+
+open Core
+
+let print_error e = Printf.printf "error: %s\n%!" (Errors.to_string e)
+
+let exec_and_print system sql =
+  match System.exec system sql with
+  | results ->
+    List.iter
+      (fun r ->
+        print_endline (System.render_result r))
+      results
+  | exception Errors.Error e -> print_error e
+
+let print_stats system =
+  let st = Engine.stats (System.engine system) in
+  Printf.printf
+    "transactions:          %d\n\
+     transitions:           %d\n\
+     rule firings:          %d\n\
+     conditions evaluated:  %d\n\
+     rollbacks:             %d\n"
+    st.Engine.transactions st.Engine.transitions st.Engine.rule_firings
+    st.Engine.conditions_evaluated st.Engine.rollbacks
+
+let print_analysis system =
+  Format.printf "%a@." Analysis.pp_report (System.analyze system)
+
+let print_trace system =
+  let events = Engine.trace (System.engine system) in
+  if events = [] then
+    print_endline
+      "(no trace recorded; \\trace on enables tracing for later transactions)"
+  else List.iter (fun ev -> Format.printf "  %a@." Engine.pp_event ev) events
+
+let help_text =
+  "meta-commands:\n\
+   \\q          quit\n\
+   \\analyze    static rule analysis (may-trigger graph, loops, conflicts)\n\
+   \\stats      engine statistics\n\
+   \\trace      print the last transaction's rule-execution trace\n\
+   \\trace on   enable tracing (\\trace off disables)\n\
+   \\help       this message\n\
+   Everything else is SQL; statements end with ';'."
+
+(* Read statements until a line ends (trimmed) with ';' or a
+   meta-command is typed. *)
+let interactive system =
+  print_endline "sopr — set-oriented production rules shell. \\help for help.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "sopr> " else "  ... ");
+    print_string "";
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> print_newline ()
+    | Some line ->
+      let trimmed = String.trim line in
+      if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+      then begin
+        (match trimmed with
+        | "\\q" | "\\quit" -> raise Exit
+        | "\\analyze" -> print_analysis system
+        | "\\stats" -> print_stats system
+        | "\\trace" -> print_trace system
+        | "\\trace on" ->
+          Engine.set_tracing (System.engine system) true;
+          print_endline "tracing enabled"
+        | "\\trace off" ->
+          Engine.set_tracing (System.engine system) false;
+          print_endline "tracing disabled"
+        | "\\help" -> print_endline help_text
+        | other -> Printf.printf "unknown meta-command %s\n" other);
+        loop ()
+      end
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        let ends_stmt =
+          String.length trimmed > 0
+          && trimmed.[String.length trimmed - 1] = ';'
+        in
+        if ends_stmt then begin
+          let sql = Buffer.contents buf in
+          Buffer.clear buf;
+          exec_and_print system sql
+        end;
+        loop ()
+      end
+  in
+  (try loop () with Exit -> ());
+  print_endline "bye."
+
+let run file expr interactive_flag track_selects max_steps =
+  let config =
+    { Engine.default_config with track_selects; max_steps }
+  in
+  let system = System.create ~config () in
+  (match file with
+  | Some path ->
+    let sql = In_channel.with_open_text path In_channel.input_all in
+    exec_and_print system sql
+  | None -> ());
+  (match expr with Some sql -> exec_and_print system sql | None -> ());
+  if interactive_flag || (file = None && expr = None) then interactive system
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Execute SQL script $(docv).")
+
+let expr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "execute" ] ~docv:"SQL" ~doc:"Execute the statement $(docv).")
+
+let interactive_arg =
+  Arg.(
+    value & flag
+    & info [ "i"; "interactive" ]
+        ~doc:"Enter interactive mode after running the script.")
+
+let track_selects_arg =
+  Arg.(
+    value & flag
+    & info [ "track-selects" ]
+        ~doc:
+          "Maintain the S effect component so rules can be triggered by data \
+           retrieval (paper Section 5.1).")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt int Engine.default_config.Engine.max_steps
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Abort (and roll back) a transaction after $(docv) rule-action \
+           executions: the run-time guard against divergent rule sets.")
+
+let cmd =
+  let doc = "set-oriented production rules on a relational database" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "An implementation of Widom & Finkelstein's set-oriented production \
+         rules facility (SIGMOD 1990) on a from-scratch relational engine. \
+         Rules are triggered by sets of changes and processed at transaction \
+         boundaries.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "sopr" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ file_arg $ expr_arg $ interactive_arg $ track_selects_arg
+      $ max_steps_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/audit_trail.ml: Array Ast Core Engine Eval List Parser Printf Procedures System Value

@@ -1,0 +1,1 @@
+examples/expert_system.ml: Analysis Core Engine List Printf String System

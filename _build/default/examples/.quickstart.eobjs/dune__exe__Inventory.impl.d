@@ -1,0 +1,1 @@
+examples/inventory.ml: Core Engine List Printf System

@@ -1,0 +1,1 @@
+examples/referential_integrity.ml: Analysis Core Errors Format List Printf System

@@ -1,0 +1,1 @@
+examples/salary_control.ml: Core Engine List Printf System

@@ -1,0 +1,1 @@
+examples/salary_control.mli:

@@ -1,0 +1,105 @@
+(* Auditing and authorization-style monitoring using the Section 5
+   extensions.
+
+   Run with:  dune exec examples/audit_trail.exe
+
+   - Section 5.1: rules triggered by data retrieval (the engine is
+     configured with select tracking); every read of the salary table
+     inside a transaction is recorded.
+   - Section 5.2: an external-procedure action pages an operator (here:
+     prints to stdout) and returns the operation block to apply.
+   - Section 5.3: explicit rule triggering points inside a long
+     transaction. *)
+
+open Core
+
+let show s sql =
+  Printf.printf "> %s\n" sql;
+  List.iter (fun r -> print_endline (System.render_result r)) (System.exec s sql)
+
+let () =
+  let config = { Engine.default_config with track_selects = true } in
+  let s = System.create ~config () in
+
+  ignore
+    (System.exec s
+       "create table payroll (emp_no int, salary float);\n\
+        create table read_audit (emp_no int);\n\
+        create table change_audit (emp_no int, old_salary float, new_salary \
+        float)");
+
+  (* Retrieval-triggered rule: record which payroll tuples were read. *)
+  ignore
+    (System.exec s
+       "create rule audit_reads when selected payroll then insert into \
+        read_audit (select emp_no from selected payroll)");
+
+  (* Change auditing joins the old and new transition tables. *)
+  ignore
+    (System.exec s
+       "create rule audit_changes when updated payroll.salary then insert \
+        into change_audit (select o.emp_no, o.salary, n.salary from old \
+        updated payroll.salary o, new updated payroll.salary n where o.emp_no \
+        = n.emp_no)");
+
+  (* External procedure: called for large raises; computes a
+     compensating operation block in OCaml. *)
+  System.register_procedure s "page_operator" (fun ctx ->
+      let big =
+        ctx.Procedures.query
+          (Parser.parse_select_string
+             "select n.emp_no from new updated payroll.salary n, old updated \
+              payroll.salary o where n.emp_no = o.emp_no and n.salary > 2 * \
+              o.salary")
+      in
+      List.iter
+        (fun row ->
+          Printf.printf "  [pager] suspicious raise for employee %s\n"
+            (Value.to_display row.(0)))
+        big.Eval.rows;
+      (* cap the raise at exactly 2x by returning a repair block *)
+      List.filter_map
+        (fun row ->
+          match row.(0) with
+          | Value.Int emp_no ->
+            Some
+              (match
+                 Parser.parse_statement_string
+                   (Printf.sprintf
+                      "update payroll set salary = (select 2.0 * o.salary \
+                       from old updated payroll.salary o where o.emp_no = %d) \
+                       where emp_no = %d"
+                      emp_no emp_no)
+               with
+              | Ast.Stmt_op op -> op
+              | _ -> assert false)
+          | _ -> None)
+        big.Eval.rows);
+  ignore
+    (System.exec s
+       "create rule cap_raises when updated payroll.salary if exists (select \
+        * from new updated payroll.salary n, old updated payroll.salary o \
+        where n.emp_no = o.emp_no and n.salary > 2 * o.salary) then call \
+        page_operator");
+  ignore (System.exec s "create rule priority cap_raises before audit_changes");
+
+  show s "insert into payroll values (1, 1000), (2, 2000), (3, 3000)";
+
+  print_endline "\n-- Reads inside a transaction are audited at commit:";
+  show s "begin";
+  show s "select salary from payroll where emp_no = 2";
+  show s "commit";
+  show s "select * from read_audit";
+
+  print_endline "\n-- A 3x raise is capped by the external procedure, then audited:";
+  show s "update payroll set salary = salary * 3 where emp_no = 1";
+  show s "select * from payroll order by emp_no";
+  show s "select * from change_audit order by emp_no";
+
+  print_endline "\n-- Triggering points (Section 5.3) split one transaction:";
+  show s "begin";
+  show s "update payroll set salary = salary + 1 where emp_no = 2";
+  show s "process rules";
+  show s "update payroll set salary = salary + 1 where emp_no = 3";
+  show s "commit";
+  show s "select * from change_audit order by emp_no"

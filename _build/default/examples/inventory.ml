@@ -1,0 +1,74 @@
+(* An active-database inventory application.
+
+   Run with:  dune exec examples/inventory.exe
+
+   Demonstrates the paper's motivating uses beyond integrity:
+   - condition monitoring with automatic reaction (reorder rules),
+   - maintenance of derived data (a per-category stock summary kept
+     consistent by rules),
+   - set-oriented processing: a bulk shipment is one transition, the
+     summary is recomputed once, and reorders are generated for all
+     depleted items in a single rule firing. *)
+
+open Core
+
+let show s sql =
+  Printf.printf "> %s\n" sql;
+  List.iter (fun r -> print_endline (System.render_result r)) (System.exec s sql)
+
+let quiet s sql = ignore (System.exec s sql)
+
+let () =
+  let s = System.create () in
+  quiet s
+    "create table item (sku int primary key, category string, qty int, \
+     reorder_point int, on_order bool)";
+  quiet s "create table purchase_order (sku int, amount int)";
+  quiet s "create table category_summary (category string, total_qty int)";
+
+  (* Derived-data maintenance: rebuild the summary of any category
+     whose items changed.  One set-oriented firing per transition. *)
+  quiet s
+    "create rule maintain_summary when inserted into item or deleted from \
+     item or updated item.qty then delete from category_summary; insert into \
+     category_summary (select category, sum(qty) from item group by category)";
+
+  (* Condition monitoring: when quantities drop, order every depleted
+     item that is not already on order — one rule firing covers the
+     whole set. *)
+  quiet s
+    "create rule reorder when updated item.qty if exists (select * from item \
+     where qty < reorder_point and on_order = false) then insert into \
+     purchase_order (select sku, reorder_point * 2 - qty from item where qty \
+     < reorder_point and on_order = false); update item set on_order = true \
+     where qty < reorder_point and on_order = false";
+
+  (* Receiving stock clears the on-order flag. *)
+  quiet s
+    "create rule receive when updated item.qty then update item set on_order \
+     = false where on_order = true and qty >= reorder_point and sku in \
+     (select sku from new updated item.qty)";
+
+  quiet s "create rule priority maintain_summary before reorder";
+
+  print_endline "-- Initial stock";
+  show s
+    "insert into item values (1, 'widgets', 50, 20, false), (2, 'widgets', \
+     15, 10, false), (3, 'gadgets', 40, 25, false), (4, 'gadgets', 30, 25, \
+     false)";
+  show s "select * from category_summary order by category";
+
+  print_endline "\n-- A bulk sale depletes several items in ONE operation block";
+  show s "update item set qty = qty - 25 where sku in (1, 3, 4)";
+  show s "select sku, qty, on_order from item order by sku";
+  show s "select * from purchase_order order by sku";
+  show s "select * from category_summary order by category";
+
+  print_endline "\n-- Receiving a shipment clears the on-order flags";
+  show s "update item set qty = qty + 40 where sku in (3, 4)";
+  show s "select sku, qty, on_order from item order by sku";
+  show s "select * from category_summary order by category";
+
+  let stats = Engine.stats (System.engine s) in
+  Printf.printf "\nrule firings: %d over %d transactions\n"
+    stats.Engine.rule_firings stats.Engine.transactions

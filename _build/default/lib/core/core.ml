@@ -1,0 +1,259 @@
+(* The public facade of the system.
+
+   [System] executes SQL text — DDL, data manipulation, rule
+   definition, transaction control — against a set-oriented production
+   rule engine, following the paper's model: every externally-generated
+   operation block is a transaction, and rules are processed just
+   before commit (or at explicit PROCESS RULES triggering points).
+
+   The lower layers are re-exported for programmatic use:
+   {!Relational} types, the {!Sqlf} front-end and the {!Rules}
+   engine. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Handle = Relational.Handle
+module Row = Relational.Row
+module Table = Relational.Table
+module Database = Relational.Database
+module Errors = Relational.Errors
+module Ast = Sqlf.Ast
+module Parser = Sqlf.Parser
+module Pretty = Sqlf.Pretty
+module Eval = Sqlf.Eval
+module Effect = Rules.Effect
+module Trans_info = Rules.Trans_info
+module Engine = Rules.Engine
+module Instance_engine = Rules.Instance_engine
+module Analysis = Rules.Analysis
+module Constraints = Rules.Constraints
+module Procedures = Rules.Procedures
+module Selection = Rules.Selection
+module Priority = Rules.Priority
+
+(* kept for the original scaffold's smoke test *)
+let placeholder () = ()
+
+module System = struct
+  type t = { engine : Engine.t }
+
+  type exec_result =
+    | Msg of string
+    | Relation of Eval.relation
+    | Outcome of Engine.outcome
+
+  let create ?config () = { engine = Engine.create ?config Database.empty }
+  let of_engine engine = { engine }
+  let engine t = t.engine
+  let database t = Engine.database t.engine
+
+  let register_procedure t name fn =
+    Engine.register_procedure t.engine name fn
+
+  (* ---- DDL ---- *)
+
+  let schema_of_create_table (ct : Ast.create_table) =
+    let columns =
+      List.map
+        (fun cd ->
+          let not_null =
+            List.exists
+              (fun c ->
+                match c with
+                | Ast.C_not_null | Ast.C_primary_key -> true
+                | Ast.C_unique | Ast.C_default _ | Ast.C_references _
+                | Ast.C_check _ -> false)
+              cd.Ast.cd_constraints
+          in
+          let default =
+            List.find_map
+              (function Ast.C_default v -> Some v | _ -> None)
+              cd.Ast.cd_constraints
+          in
+          Schema.column ~not_null ?default cd.Ast.cd_name cd.Ast.cd_type)
+        ct.Ast.ct_columns
+    in
+    Schema.table ct.Ast.ct_name columns
+
+  let install_constraints t (ct : Ast.create_table) =
+    let constraints = Constraints.of_create_table ct in
+    List.concat_map
+      (fun c ->
+        let defs = Constraints.compile c in
+        List.iter (fun def -> ignore (Engine.create_rule t.engine def)) defs;
+        List.iter
+          (fun (high, low) -> Engine.declare_priority t.engine ~high ~low)
+          (Constraints.priority_pairs c);
+        List.map (fun d -> d.Ast.rule_name) defs)
+      constraints
+
+  let create_table t ct =
+    Engine.create_table t.engine (schema_of_create_table ct);
+    let rules = install_constraints t ct in
+    if rules = [] then Msg (Printf.sprintf "table %s created" ct.Ast.ct_name)
+    else
+      Msg
+        (Printf.sprintf "table %s created (constraint rules: %s)" ct.Ast.ct_name
+           (String.concat ", " rules))
+
+  (* ---- statement dispatch ---- *)
+
+  let exec_statement t (stmt : Ast.statement) : exec_result =
+    let eng = t.engine in
+    match stmt with
+    | Ast.Stmt_create_table ct -> create_table t ct
+    | Ast.Stmt_drop_table name ->
+      Engine.drop_table eng name;
+      Msg (Printf.sprintf "table %s dropped" name)
+    | Ast.Stmt_create_rule def ->
+      ignore (Engine.create_rule eng def);
+      Msg (Printf.sprintf "rule %s created" def.Ast.rule_name)
+    | Ast.Stmt_drop_rule name ->
+      Engine.drop_rule eng name;
+      Msg (Printf.sprintf "rule %s dropped" name)
+    | Ast.Stmt_priority (high, low) ->
+      Engine.declare_priority eng ~high ~low;
+      Msg (Printf.sprintf "priority %s before %s" high low)
+    | Ast.Stmt_activate name ->
+      Engine.set_rule_active eng name true;
+      Msg (Printf.sprintf "rule %s activated" name)
+    | Ast.Stmt_deactivate name ->
+      Engine.set_rule_active eng name false;
+      Msg (Printf.sprintf "rule %s deactivated" name)
+    | Ast.Stmt_begin ->
+      Engine.begin_txn eng;
+      Msg "transaction started"
+    | Ast.Stmt_commit -> Outcome (Engine.commit eng)
+    | Ast.Stmt_rollback ->
+      Engine.rollback_txn eng;
+      Outcome Engine.Rolled_back
+    | Ast.Stmt_process_rules -> Outcome (Engine.process_rules eng)
+    | Ast.Stmt_create_assertion (name, predicate) ->
+      let c = Constraints.Assertion { assertion_name = name; predicate } in
+      List.iter
+        (fun def -> ignore (Engine.create_rule eng def))
+        (Constraints.compile c);
+      Msg (Printf.sprintf "assertion %s created (rule %s)" name (Constraints.name_of c))
+    | Ast.Stmt_drop_assertion name ->
+      Engine.drop_rule eng
+        (Constraints.name_of
+           (Constraints.Assertion { assertion_name = name; predicate = Ast.Lit Value.Null }));
+      Msg (Printf.sprintf "assertion %s dropped" name)
+    | Ast.Stmt_op (Ast.Select_op s) when not (Engine.in_transaction eng) ->
+      (* a bare query outside a transaction is pure retrieval *)
+      Relation (Engine.query eng s)
+    | Ast.Stmt_op op ->
+      if Engine.in_transaction eng then begin
+        match Engine.submit_ops eng [ op ] with
+        | [ rel ] -> Relation rel
+        | _ -> Msg "ok"
+      end
+      else begin
+        let outcome, results = Engine.execute_block eng [ op ] in
+        match outcome, results with
+        | Engine.Committed, [ rel ] -> Relation rel
+        | outcome, _ -> Outcome outcome
+      end
+    | Ast.Stmt_show_tables ->
+      let names = Database.table_names (Engine.database eng) in
+      Relation
+        {
+          Eval.rel_name = "tables";
+          cols = [| "table_name" |];
+          rows = List.map (fun n -> [| Value.Str n |]) names;
+        }
+    | Ast.Stmt_show_rules ->
+      let text =
+        String.concat "\n\n"
+          (List.map (fun r -> Fmt.str "%a" Rules.Rule.pp r) (Engine.rules eng))
+      in
+      Msg (if text = "" then "(no rules)" else text)
+    | Ast.Stmt_describe name ->
+      let schema = Database.schema (Engine.database eng) name in
+      Relation
+        {
+          Eval.rel_name = name;
+          cols = [| "column"; "type"; "not_null" |];
+          rows =
+            Array.to_list
+              (Array.map
+                 (fun c ->
+                   [|
+                     Value.Str c.Schema.col_name;
+                     Value.Str (Schema.col_type_name c.Schema.col_type);
+                     Value.Bool c.Schema.not_null;
+                   |])
+                 schema.Schema.columns);
+        }
+
+  (* Execute a script of ';'-separated statements. *)
+  let exec t sql =
+    let stmts = Parser.parse_script sql in
+    List.map (exec_statement t) stmts
+
+  let exec_one t sql = exec_statement t (Parser.parse_statement_string sql)
+
+  (* Run a query and return headers and rows. *)
+  let query t sql =
+    let s = Parser.parse_select_string sql in
+    let rel = Engine.query t.engine s in
+    (Array.to_list rel.Eval.cols, rel.Eval.rows)
+
+  (* Convenience: a single-column, single-row query result as a value. *)
+  let query_value t sql =
+    match query t sql with
+    | _, [ [| v |] ] -> v
+    | _, [] -> Value.Null
+    | _ -> Errors.semantic "query_value expects a single-cell result"
+
+  (* Execute one externally-generated operation block (one transaction)
+     given as SQL text. *)
+  let exec_block t sql =
+    let stmts = Parser.parse_script sql in
+    let ops =
+      List.map
+        (function
+          | Ast.Stmt_op op -> op
+          | _ -> Errors.semantic "exec_block accepts data manipulation only")
+        stmts
+    in
+    Engine.execute_block t.engine ops
+
+  let analyze t =
+    Analysis.analyze
+      ~priorities:(Engine.priorities t.engine)
+      (Engine.rules t.engine)
+
+  (* ---- result rendering ---- *)
+
+  let render_relation (rel : Eval.relation) =
+    let cols = Array.to_list rel.Eval.cols in
+    let rows =
+      List.map
+        (fun r -> Array.to_list (Array.map Value.to_display r))
+        rel.Eval.rows
+    in
+    let widths =
+      List.fold_left
+        (fun widths row ->
+          List.map2 (fun w cell -> max w (String.length cell)) widths row)
+        (List.map String.length cols)
+        rows
+    in
+    let pad s w = s ^ String.make (w - String.length s) ' ' in
+    let line cells = String.concat " | " (List.map2 pad cells widths) in
+    let sep = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+    let body = List.map line rows in
+    String.concat "\n"
+      ((line cols :: sep :: body)
+      @ [
+          Printf.sprintf "(%d row%s)" (List.length rows)
+            (if List.length rows = 1 then "" else "s");
+        ])
+
+  let render_result = function
+    | Msg m -> m
+    | Outcome Engine.Committed -> "committed"
+    | Outcome Engine.Rolled_back -> "rolled back"
+    | Relation rel -> render_relation rel
+end

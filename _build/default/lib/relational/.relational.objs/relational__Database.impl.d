@@ -1,0 +1,1 @@
+lib/relational/database.ml: Errors Fmt Handle List Map Schema String Table

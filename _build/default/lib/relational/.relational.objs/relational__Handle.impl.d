@@ -1,0 +1,1 @@
+lib/relational/handle.ml: Fmt Map Set

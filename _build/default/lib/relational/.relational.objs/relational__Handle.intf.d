@@ -1,0 +1,1 @@
+lib/relational/handle.mli: Format Map Set

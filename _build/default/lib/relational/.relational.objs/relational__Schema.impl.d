@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Errors Fmt Hashtbl List Option String Value

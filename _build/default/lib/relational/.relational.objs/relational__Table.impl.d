@@ -1,0 +1,1 @@
+lib/relational/table.ml: Errors Fmt Handle Int List Map Option Row Schema String

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Errors Float Fmt Hashtbl Printf String

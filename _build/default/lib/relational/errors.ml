@@ -1,0 +1,70 @@
+(* Error values shared by every layer of the system.  All user-facing
+   failures (bad SQL, schema violations, semantic errors during rule
+   processing) are reported through [Error]; internal invariant
+   violations use assertions instead. *)
+
+type t =
+  | Parse_error of { line : int; col : int; msg : string }
+  | Unknown_table of string
+  | Duplicate_table of string
+  | Unknown_column of { table : string option; column : string }
+  | Ambiguous_column of string
+  | Type_error of string
+  | Arity_error of { table : string; expected : int; got : int }
+  | Not_null_violation of { table : string; column : string }
+  | Unknown_rule of string
+  | Duplicate_rule of string
+  | Priority_cycle of string list
+  | Rule_limit_exceeded of { rule : string; steps : int }
+  | Unknown_procedure of string
+  | Invalid_transition_reference of string
+  | Transaction_error of string
+  | Semantic_error of string
+
+exception Error of t
+
+let to_string = function
+  | Parse_error { line; col; msg } ->
+    Printf.sprintf "parse error at line %d, column %d: %s" line col msg
+  | Unknown_table t -> Printf.sprintf "unknown table %S" t
+  | Duplicate_table t -> Printf.sprintf "table %S already exists" t
+  | Unknown_column { table = Some t; column } ->
+    Printf.sprintf "unknown column %S in table %S" column t
+  | Unknown_column { table = None; column } ->
+    Printf.sprintf "unknown column %S" column
+  | Ambiguous_column c -> Printf.sprintf "ambiguous column reference %S" c
+  | Type_error msg -> Printf.sprintf "type error: %s" msg
+  | Arity_error { table; expected; got } ->
+    Printf.sprintf "wrong number of values for table %S: expected %d, got %d"
+      table expected got
+  | Not_null_violation { table; column } ->
+    Printf.sprintf "null value in non-null column %S of table %S" column table
+  | Unknown_rule r -> Printf.sprintf "unknown rule %S" r
+  | Duplicate_rule r -> Printf.sprintf "rule %S already exists" r
+  | Priority_cycle rs ->
+    Printf.sprintf "priority ordering creates a cycle: %s"
+      (String.concat " -> " rs)
+  | Rule_limit_exceeded { rule; steps } ->
+    Printf.sprintf
+      "rule processing exceeded %d steps (last rule %S); possible \
+       non-terminating rule set"
+      steps rule
+  | Unknown_procedure p -> Printf.sprintf "unknown external procedure %S" p
+  | Invalid_transition_reference msg ->
+    Printf.sprintf
+      "reference to transition table not matching any transition predicate: %s"
+      msg
+  | Transaction_error msg -> Printf.sprintf "transaction error: %s" msg
+  | Semantic_error msg -> Printf.sprintf "semantic error: %s" msg
+
+let raise_error e = raise (Error e)
+let semantic fmt = Printf.ksprintf (fun msg -> raise_error (Semantic_error msg)) fmt
+let type_error fmt = Printf.ksprintf (fun msg -> raise_error (Type_error msg)) fmt
+
+let pp ppf e = Fmt.string ppf (to_string e)
+
+(* Make [Error] print usefully in test failures and uncaught contexts. *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Sopr error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,45 @@
+(** Error reporting shared by every layer.
+
+    All user-facing failures — malformed SQL, schema violations,
+    semantic errors during query or rule processing — are raised as
+    {!Error}; internal invariant violations use assertions. *)
+
+type t =
+  | Parse_error of { line : int; col : int; msg : string }
+  | Unknown_table of string
+  | Duplicate_table of string
+  | Unknown_column of { table : string option; column : string }
+  | Ambiguous_column of string
+  | Type_error of string
+  | Arity_error of { table : string; expected : int; got : int }
+  | Not_null_violation of { table : string; column : string }
+  | Unknown_rule of string
+  | Duplicate_rule of string
+  | Priority_cycle of string list
+      (** The offending path [r1 -> ... -> rn] that would close a cycle. *)
+  | Rule_limit_exceeded of { rule : string; steps : int }
+      (** The run-time divergence guard fired (paper Section 4.1,
+          footnote 7); [rule] is the last rule that executed. *)
+  | Unknown_procedure of string
+  | Invalid_transition_reference of string
+      (** A transition table was referenced outside rule processing, or
+          by a rule without a matching basic transition predicate
+          (paper Section 3's syntactic restriction). *)
+  | Transaction_error of string
+  | Semantic_error of string
+
+exception Error of t
+
+val to_string : t -> string
+(** Render an error for the user. *)
+
+val raise_error : t -> 'a
+(** [raise_error e] raises {!Error}[ e]. *)
+
+val semantic : ('a, unit, string, 'b) format4 -> 'a
+(** [semantic fmt ...] raises a {!Semantic_error} built with [fmt]. *)
+
+val type_error : ('a, unit, string, 'b) format4 -> 'a
+(** [type_error fmt ...] raises a {!Type_error} built with [fmt]. *)
+
+val pp : Format.formatter -> t -> unit

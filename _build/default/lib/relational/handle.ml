@@ -1,0 +1,32 @@
+(* System tuple handles (paper Section 2): distinct, non-reusable
+   values identifying a tuple and its containing table.  Handles of
+   deleted tuples remain valid identifiers of tuples that existed in a
+   previous database state. *)
+
+type t = { id : int; table : string }
+
+(* Non-reusable: a single global counter for the whole process.  The
+   paper assumes a single stream of operation blocks, so no
+   synchronization is required. *)
+let counter = ref 0
+
+let fresh table =
+  incr counter;
+  { id = !counter; table }
+
+let id h = h.id
+let table h = h.table
+let equal a b = a.id = b.id
+let compare a b = compare a.id b.id
+let hash h = h.id
+
+let pp ppf h = Fmt.pf ppf "#%d@%s" h.id h.table
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

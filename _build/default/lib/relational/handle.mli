@@ -1,0 +1,27 @@
+(** System tuple handles (paper Section 2): distinct, non-reusable
+    values identifying a tuple and its containing table.
+
+    Handles of deleted tuples remain valid identifiers of tuples that
+    existed in a previous database state — transition effects and
+    transition information rely on this. *)
+
+type t
+
+val fresh : string -> t
+(** [fresh table] mints a new handle for a tuple of [table].  Handles
+    are globally unique for the lifetime of the process and never
+    reused. *)
+
+val id : t -> int
+val table : t -> string
+(** The name of the table the handle's tuple belongs (or belonged) to. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Handle order is creation (insertion) order. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,37 @@
+(* A row is an array of values, positionally matching a table schema.
+   Rows are treated as immutable: every mutation in the storage layer
+   copies. *)
+
+type t = Value.t array
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1))
+  in
+  go 0
+
+(* Total order used for deterministic output and DISTINCT. *)
+let compare_total a b =
+  let n = Array.length a and m = Array.length b in
+  let rec go i =
+    if i >= n && i >= m then 0
+    else if i >= n then -1
+    else if i >= m then 1
+    else
+      match Value.compare_total a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let project indices row = Array.map (fun i -> row.(i)) indices
+
+let set row i v =
+  let row' = Array.copy row in
+  row'.(i) <- v;
+  row'
+
+let pp ppf row =
+  Fmt.pf ppf "(@[%a@])" (Fmt.array ~sep:Fmt.comma Value.pp) row
+
+let to_string row = Fmt.str "%a" pp row

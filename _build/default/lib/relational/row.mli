@@ -1,0 +1,20 @@
+(** Rows: arrays of values positionally matching a table schema.
+    Treated as immutable — every mutation in the storage layer copies. *)
+
+type t = Value.t array
+
+val equal : t -> t -> bool
+(** Pointwise {!Value.equal}. *)
+
+val compare_total : t -> t -> int
+(** Lexicographic {!Value.compare_total}; used for DISTINCT, GROUP BY
+    keys and deterministic ordering. *)
+
+val project : int array -> t -> t
+(** [project indices row] extracts the given positions. *)
+
+val set : t -> int -> Value.t -> t
+(** Functional update (copies). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,91 @@
+(* Table schemas: fixed, named, typed columns (paper Section 2).  The
+   storage layer enforces arity and type compatibility only; key and
+   referential constraints are the business of production rules (that
+   is the paper's point), via the constraint compiler. *)
+
+type col_type = T_int | T_float | T_string | T_bool
+
+type column = {
+  col_name : string;
+  col_type : col_type;
+  not_null : bool;
+  default : Value.t option;
+}
+
+type table = { table_name : string; columns : column array }
+
+let col_type_name = function
+  | T_int -> "INT"
+  | T_float -> "FLOAT"
+  | T_string -> "STRING"
+  | T_bool -> "BOOL"
+
+let column ?(not_null = false) ?default col_name col_type =
+  { col_name; col_type; not_null; default }
+
+let table table_name columns =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.col_name then
+        Errors.semantic "duplicate column %S in table %S" c.col_name table_name;
+      Hashtbl.add seen c.col_name ())
+    columns;
+  if columns = [] then Errors.semantic "table %S has no columns" table_name;
+  { table_name; columns = Array.of_list columns }
+
+let arity t = Array.length t.columns
+let column_names t = Array.to_list (Array.map (fun c -> c.col_name) t.columns)
+
+let find_column t name =
+  let rec go i =
+    if i >= Array.length t.columns then None
+    else if String.equal t.columns.(i).col_name name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let column_index t name =
+  match find_column t name with
+  | Some i -> i
+  | None ->
+    Errors.raise_error
+      (Errors.Unknown_column { table = Some t.table_name; column = name })
+
+let has_column t name = Option.is_some (find_column t name)
+
+(* Check a value against a column type, coercing int literals into
+   float columns.  NULL is accepted unless the column is NOT NULL. *)
+let coerce_value ~table_name col v =
+  match v, col.col_type with
+  | Value.Null, _ ->
+    if col.not_null then
+      Errors.raise_error
+        (Errors.Not_null_violation { table = table_name; column = col.col_name })
+    else Value.Null
+  | Value.Int _, T_int -> v
+  | Value.Int x, T_float -> Value.Float (float_of_int x)
+  | Value.Float _, T_float -> v
+  | Value.Str _, T_string -> v
+  | Value.Bool _, T_bool -> v
+  | v, ty ->
+    Errors.type_error "value %s does not fit column %S of type %s"
+      (Value.to_string v) col.col_name (col_type_name ty)
+
+(* Validate and coerce a full row for the table. *)
+let coerce_row t values =
+  let n = Array.length values in
+  if n <> arity t then
+    Errors.raise_error
+      (Errors.Arity_error { table = t.table_name; expected = arity t; got = n });
+  Array.mapi (fun i v -> coerce_value ~table_name:t.table_name t.columns.(i) v) values
+
+let pp_column ppf c =
+  Fmt.pf ppf "%s %s%s" c.col_name
+    (col_type_name c.col_type)
+    (if c.not_null then " NOT NULL" else "")
+
+let pp ppf t =
+  Fmt.pf ppf "@[<hv 2>%s(%a)@]" t.table_name
+    (Fmt.array ~sep:Fmt.comma pp_column)
+    t.columns

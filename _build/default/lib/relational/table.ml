@@ -1,0 +1,55 @@
+(* A stored table: a schema plus a multiset of rows keyed by tuple
+   handle.  Duplicate rows may appear (each under its own handle).  The
+   representation is persistent, so snapshotting a table (and hence a
+   whole database state) is O(1) — this is what makes the paper's
+   pre-transition states and rollback cheap to support faithfully. *)
+
+module Int_map = Map.Make (Int)
+
+type t = { schema : Schema.table; rows : (Handle.t * Row.t) Int_map.t }
+
+let create schema = { schema; rows = Int_map.empty }
+let schema t = t.schema
+let name t = t.schema.Schema.table_name
+let cardinality t = Int_map.cardinal t.rows
+let is_empty t = Int_map.is_empty t.rows
+
+(* Insert a row under a fresh handle created by the caller.  The row
+   must already be validated/coerced against the schema. *)
+let insert t handle row =
+  assert (String.equal (Handle.table handle) (name t));
+  assert (not (Int_map.mem (Handle.id handle) t.rows));
+  { t with rows = Int_map.add (Handle.id handle) (handle, row) t.rows }
+
+let mem t handle = Int_map.mem (Handle.id handle) t.rows
+
+let find t handle =
+  Option.map snd (Int_map.find_opt (Handle.id handle) t.rows)
+
+let get t handle =
+  match find t handle with
+  | Some row -> row
+  | None ->
+    Errors.semantic "tuple %s not present in table %S" (Fmt.str "%a" Handle.pp handle)
+      (name t)
+
+let delete t handle = { t with rows = Int_map.remove (Handle.id handle) t.rows }
+
+let update t handle row =
+  assert (Int_map.mem (Handle.id handle) t.rows);
+  { t with rows = Int_map.add (Handle.id handle) (handle, row) t.rows }
+
+(* Enumeration is in handle order, i.e. insertion order, which keeps
+   scans and query results deterministic. *)
+let fold f t acc =
+  Int_map.fold (fun _ (h, row) acc -> f h row acc) t.rows acc
+
+let iter f t = Int_map.iter (fun _ (h, row) -> f h row) t.rows
+let to_list t = List.rev (fold (fun h row acc -> (h, row) :: acc) t [])
+let rows t = List.rev (fold (fun _ row acc -> row :: acc) t [])
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>%a [%d rows]@,%a@]" Schema.pp t.schema (cardinality t)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (h, row) ->
+         Fmt.pf ppf "%a %a" Handle.pp h Row.pp row))
+    (to_list t)

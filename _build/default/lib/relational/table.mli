@@ -1,0 +1,39 @@
+(** A stored table: a schema plus a multiset of rows keyed by tuple
+    handle.
+
+    The representation is persistent: every mutation returns a new
+    table sharing structure with the old one.  Snapshotting a table —
+    and hence a whole database state — is O(1), which is what makes the
+    paper's pre-transition states and rollback cheap to support
+    faithfully.  Duplicate rows may appear, each under its own
+    handle. *)
+
+type t
+
+val create : Schema.table -> t
+val schema : t -> Schema.table
+val name : t -> string
+val cardinality : t -> int
+val is_empty : t -> bool
+
+val insert : t -> Handle.t -> Row.t -> t
+(** [insert t h row] stores [row] under [h].  The handle must be fresh
+    and belong to this table; the row must already be coerced against
+    the schema. *)
+
+val mem : t -> Handle.t -> bool
+val find : t -> Handle.t -> Row.t option
+val get : t -> Handle.t -> Row.t
+(** Raises if the tuple is not present in this state. *)
+
+val delete : t -> Handle.t -> t
+val update : t -> Handle.t -> Row.t -> t
+
+val fold : (Handle.t -> Row.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Enumeration is in handle (= insertion) order, keeping scans and
+    query results deterministic. *)
+
+val iter : (Handle.t -> Row.t -> unit) -> t -> unit
+val to_list : t -> (Handle.t * Row.t) list
+val rows : t -> Row.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rules/analysis.ml: Fmt Hashtbl List Option Priority Rule Set Sqlf String

@@ -1,0 +1,1 @@
+lib/rules/analysis.mli: Format Priority Rule Sqlf

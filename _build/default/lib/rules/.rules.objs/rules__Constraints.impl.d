@@ -1,0 +1,1 @@
+lib/rules/constraints.ml: List Option Printf Relational Sqlf String

@@ -1,0 +1,1 @@
+lib/rules/constraints.mli: Sqlf

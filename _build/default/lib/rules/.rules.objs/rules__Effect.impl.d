@@ -1,0 +1,1 @@
+lib/rules/effect.ml: Fmt Handle List Option Relational Set Sqlf String

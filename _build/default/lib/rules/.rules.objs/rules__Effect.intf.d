@@ -1,0 +1,1 @@
+lib/rules/effect.mli: Format Handle Relational Set Sqlf

@@ -1,0 +1,1 @@
+lib/rules/engine.ml: Database Effect Errors Fmt Lazy List Logs Map Option Priority Procedures Relational Rule Schema Selection Set Sqlf String Trans_info Transition_tables

@@ -1,0 +1,1 @@
+lib/rules/engine.mli: Database Format Priority Procedures Relational Rule Schema Selection Sqlf

@@ -1,0 +1,1 @@
+lib/rules/instance_engine.ml: Database Effect Errors Handle List Relational Row Rule Sqlf Trans_info Transition_tables

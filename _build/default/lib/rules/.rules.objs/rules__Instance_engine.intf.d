@@ -1,0 +1,1 @@
+lib/rules/instance_engine.mli: Database Relational Rule Schema Sqlf

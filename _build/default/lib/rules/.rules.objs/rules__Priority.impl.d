@@ -1,0 +1,1 @@
+lib/rules/priority.ml: Errors List Map Option Relational Set String

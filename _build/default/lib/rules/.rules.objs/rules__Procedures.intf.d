@@ -1,0 +1,1 @@
+lib/rules/procedures.mli: Sqlf

@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Errors Fmt List Relational Sqlf String

@@ -1,0 +1,1 @@
+lib/rules/selection.ml: List Priority Rule

@@ -1,0 +1,1 @@
+lib/rules/selection.mli: Priority Rule

@@ -1,0 +1,1 @@
+lib/rules/trans_info.ml: Database Effect Handle Relational Row

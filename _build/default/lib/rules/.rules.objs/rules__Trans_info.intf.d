@@ -1,0 +1,1 @@
+lib/rules/trans_info.mli: Database Effect Format Handle Relational Row Sqlf

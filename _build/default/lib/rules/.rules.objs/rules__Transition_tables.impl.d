@@ -1,0 +1,1 @@
+lib/rules/transition_tables.ml: Array Database Effect Handle List Relational Schema Sqlf String Trans_info

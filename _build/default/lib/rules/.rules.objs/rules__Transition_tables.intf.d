@@ -1,0 +1,1 @@
+lib/rules/transition_tables.mli: Database Relational Sqlf Trans_info

@@ -1,0 +1,463 @@
+(* The set-oriented rule execution engine: the semantics of Section 4
+   and the algorithm of Figure 1.
+
+   A transaction consists of one externally-generated operation block
+   followed by rule processing just before commit.  Rule processing
+   repeatedly selects a triggered rule whose condition holds and
+   executes its action; the acting rule's transition information
+   restarts from its own transition while every other rule's
+   information is composed with the new effect (Figure 1's
+   init-trans-info / modify-trans-info).  A rollback action restores
+   the transaction's start state.
+
+   Section 5.3's rule triggering points are supported: a transaction
+   may interleave several externally-generated operation sequences with
+   explicit [process_rules] calls; each call completes the current
+   external transition, processes rules to quiescence, and starts a new
+   transition.  [execute_block] packages the paper's default
+   one-block-one-transaction behaviour. *)
+
+open Relational
+module Ast = Sqlf.Ast
+module Dml = Sqlf.Dml
+module Eval = Sqlf.Eval
+module Str_map = Map.Make (String)
+module Str_set = Set.Make (String)
+
+type config = {
+  max_steps : int;
+      (* upper bound on rule-action executions per transaction; the
+         run-time guard the paper suggests for divergent rule sets *)
+  strategy : Selection.strategy;
+  track_selects : bool; (* Section 5.1: maintain the S component *)
+  optimize : bool; (* uncorrelated-subquery caching in the evaluator *)
+  prune_info : bool;
+      (* keep, per rule, only the transition information on tables its
+         predicates mention (the Section 4.3 optimization remark) *)
+}
+
+let default_config =
+  {
+    max_steps = 10_000;
+    strategy = Selection.Creation_order;
+    track_selects = false;
+    optimize = true;
+    prune_info = true;
+  }
+
+type outcome = Committed | Rolled_back
+
+type stats = {
+  mutable transactions : int;
+  mutable transitions : int; (* external + rule-generated *)
+  mutable rule_firings : int; (* actions executed *)
+  mutable conditions_evaluated : int;
+  mutable rollbacks : int;
+}
+
+(* Execution trace: what happened during rule processing, for the
+   rule-programmer tooling the paper calls for in Section 6. *)
+type event =
+  | Ev_external of { effect_size : int }
+      (* an external transition was completed and rules initialized *)
+  | Ev_considered of { rule : string; condition_held : bool }
+  | Ev_fired of { rule : string; effect_size : int }
+  | Ev_rollback of { rule : string }
+  | Ev_quiescent
+
+type t = {
+  mutable db : Database.t;
+  mutable rules : Rule.t list; (* creation order *)
+  mutable priorities : Priority.t;
+  mutable infos : Trans_info.t Str_map.t;
+  mutable txn_start : Database.t option; (* Some while a transaction is open *)
+  mutable trans_start : Database.t; (* state at current external transition start *)
+  mutable pending : Effect.t; (* composite effect of the unprocessed external transition *)
+  mutable seq : int;
+  clock : Selection.clock;
+  mutable last_considered : int Str_map.t;
+  config : config;
+  procedures : Procedures.registry;
+  stats : stats;
+  mutable tracing : bool;
+  mutable trace : event list; (* newest first while accumulating *)
+}
+
+let log_src = Logs.Src.create "sopr.engine" ~doc:"rule engine execution"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let create ?(config = default_config) db =
+  {
+    db;
+    rules = [];
+    priorities = Priority.empty;
+    infos = Str_map.empty;
+    txn_start = None;
+    trans_start = db;
+    pending = Effect.empty;
+    seq = 0;
+    clock = Selection.make_clock ();
+    last_considered = Str_map.empty;
+    config;
+    procedures = Procedures.create ();
+    stats =
+      {
+        transactions = 0;
+        transitions = 0;
+        rule_firings = 0;
+        conditions_evaluated = 0;
+        rollbacks = 0;
+      };
+    tracing = false;
+    trace = [];
+  }
+
+let database t = t.db
+let stats t = t.stats
+let in_transaction t = Option.is_some t.txn_start
+let set_tracing t on = t.tracing <- on
+let trace t = List.rev t.trace
+let record t ev = if t.tracing then t.trace <- ev :: t.trace
+
+let pp_event ppf = function
+  | Ev_external { effect_size } ->
+    Fmt.pf ppf "external transition (%d tuples affected)" effect_size
+  | Ev_considered { rule; condition_held } ->
+    Fmt.pf ppf "considered %s: condition %s" rule
+      (if condition_held then "held" else "false")
+  | Ev_fired { rule; effect_size } ->
+    Fmt.pf ppf "fired %s (%d tuples affected)" rule effect_size
+  | Ev_rollback { rule } -> Fmt.pf ppf "rollback by %s" rule
+  | Ev_quiescent -> Fmt.string ppf "quiescent"
+
+(* ------------------------------------------------------------------ *)
+(* Catalog operations                                                  *)
+
+let find_rule t name = List.find_opt (fun r -> String.equal r.Rule.name name) t.rules
+
+let get_rule t name =
+  match find_rule t name with
+  | Some r -> r
+  | None -> Errors.raise_error (Errors.Unknown_rule name)
+
+let rules t = t.rules
+let priorities t = t.priorities
+
+(* Rules defined mid-transaction start with empty transition
+   information: they have seen no transition yet. *)
+let create_rule t def =
+  if Option.is_some (find_rule t def.Ast.rule_name) then
+    Errors.raise_error (Errors.Duplicate_rule def.Ast.rule_name);
+  (* validate table/column references in the transition predicates *)
+  List.iter
+    (fun pred ->
+      let check_col table col =
+        let schema = Database.schema t.db table in
+        match col with
+        | None -> ()
+        | Some c -> ignore (Schema.column_index schema c)
+      in
+      match pred with
+      | Ast.Tp_inserted table | Ast.Tp_deleted table -> check_col table None
+      | Ast.Tp_updated (table, col) | Ast.Tp_selected (table, col) ->
+        check_col table col)
+    def.Ast.trans_preds;
+  t.seq <- t.seq + 1;
+  let rule = Rule.create ~seq:t.seq def in
+  t.rules <- t.rules @ [ rule ];
+  rule
+
+let drop_rule t name =
+  ignore (get_rule t name);
+  t.rules <- List.filter (fun r -> not (String.equal r.Rule.name name)) t.rules;
+  t.infos <- Str_map.remove name t.infos;
+  t.priorities <- Priority.remove_rule t.priorities name
+
+let set_rule_active t name active =
+  let rule = get_rule t name in
+  t.rules <-
+    List.map
+      (fun r -> if r == rule then { r with Rule.active } else r)
+      t.rules
+
+let declare_priority t ~high ~low =
+  ignore (get_rule t high);
+  ignore (get_rule t low);
+  t.priorities <- Priority.declare t.priorities ~high ~low
+
+let register_procedure t name fn = Procedures.register t.procedures name fn
+
+(* ------------------------------------------------------------------ *)
+(* Transactions and external operations                                *)
+
+let begin_txn t =
+  if in_transaction t then
+    Errors.raise_error (Errors.Transaction_error "transaction already open");
+  t.txn_start <- Some t.db;
+  t.trans_start <- t.db;
+  t.pending <- Effect.empty;
+  t.trace <- [];
+  t.stats.transactions <- t.stats.transactions + 1
+
+let require_txn t =
+  if not (in_transaction t) then
+    Errors.raise_error (Errors.Transaction_error "no open transaction")
+
+(* Execute an operation block against the current state, returning the
+   composite effect and any select results.  Each operation sees the
+   state produced by its predecessors; transition tables resolve
+   through [resolver_of], which differs between external blocks (no
+   transition tables) and rule actions. *)
+let run_ops t ~resolver_of (ops : Ast.op list) =
+  List.fold_left
+    (fun (eff, results) op ->
+      let resolve = resolver_of t.db in
+      let r =
+        Dml.exec_op ~track_selects:t.config.track_selects
+          ~optimize:t.config.optimize resolve t.db op
+      in
+      t.db <- r.Dml.db;
+      let eff = Effect.compose eff (Effect.of_affected r.Dml.affected) in
+      let results =
+        match r.Dml.result with Some rel -> rel :: results | None -> results
+      in
+      (eff, results))
+    (Effect.empty, []) ops
+  |> fun (eff, results) -> (eff, List.rev results)
+
+let external_resolver db : Eval.resolver = Eval.base_resolver db
+
+(* Execute externally-generated operations inside the open transaction
+   (they extend the current external transition). *)
+let submit_ops t (ops : Ast.op list) =
+  require_txn t;
+  let eff, results = run_ops t ~resolver_of:external_resolver ops in
+  t.pending <- Effect.compose t.pending eff;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Rule processing (Figure 1)                                          *)
+
+exception Rolled_back_exc
+
+let rollback_to_txn_start t =
+  (match t.txn_start with
+  | Some db0 -> t.db <- db0
+  | None -> assert false);
+  t.txn_start <- None;
+  t.pending <- Effect.empty;
+  t.infos <- Str_map.empty;
+  t.stats.rollbacks <- t.stats.rollbacks + 1
+
+let info_of t name =
+  Option.value (Str_map.find_opt name t.infos) ~default:Trans_info.empty
+
+(* The operation block denoted by a rule's action: either its literal
+   block or the block computed by an external procedure (Section 5.2). *)
+let action_block t (rule : Rule.t) resolve =
+  match Rule.action rule with
+  | Ast.Act_rollback -> assert false
+  | Ast.Act_block ops -> ops
+  | Ast.Act_call name ->
+    let fn = Procedures.find t.procedures name in
+    fn { Procedures.query = (fun s -> Eval.eval_select resolve s);
+         rule_name = rule.Rule.name }
+
+let process_rules_exn t =
+  require_txn t;
+  t.stats.transitions <- t.stats.transitions + 1;
+  record t (Ev_external { effect_size = Effect.cardinality t.pending });
+  Log.debug (fun m ->
+      m "processing rules for external transition %a" Effect.pp t.pending);
+  (* Figure 1: initialize every rule's transition information from the
+     external transition's composite effect.  With pruning on
+     (Section 4.3), a rule whose predicates mention none of the touched
+     tables gets empty information without any per-effect work, and a
+     partially relevant rule gets the restriction of the effect to its
+     tables. *)
+  let touched = Effect.tables t.pending in
+  let relevant_to r =
+    List.exists (fun tbl -> Effect.Col_set.mem tbl touched) (Rule.relevant_tables r)
+  in
+  let initial = lazy (Trans_info.init t.pending t.trans_start) in
+  let init_for r =
+    if not t.config.prune_info then Lazy.force initial
+    else if not (relevant_to r) then Trans_info.empty
+    else Trans_info.init (Effect.restrict t.pending (Rule.relevant r)) t.trans_start
+  in
+  t.infos <-
+    List.fold_left
+      (fun m r -> Str_map.add r.Rule.name (init_for r) m)
+      Str_map.empty t.rules;
+  t.pending <- Effect.empty;
+  let steps = ref 0 in
+  let considered = ref Str_set.empty in
+  let rec loop () =
+    let candidates =
+      List.filter
+        (fun r ->
+          r.Rule.active
+          && (not (Str_set.mem r.Rule.name !considered))
+          && Trans_info.triggered (info_of t r.Rule.name) (Rule.trans_preds r))
+        t.rules
+    in
+    let last_considered name =
+      Option.value (Str_map.find_opt name t.last_considered) ~default:0
+    in
+    match
+      Selection.choose t.config.strategy t.priorities ~last_considered
+        candidates
+    with
+    | None ->
+      (* quiescence: no triggered rule remains to consider *)
+      record t Ev_quiescent
+    | Some rule ->
+      considered := Str_set.add rule.Rule.name !considered;
+      t.last_considered <-
+        Str_map.add rule.Rule.name (Selection.tick t.clock) t.last_considered;
+      let info = info_of t rule.Rule.name in
+      let resolve = Transition_tables.resolver info t.db in
+      t.stats.conditions_evaluated <- t.stats.conditions_evaluated + 1;
+      let cond_holds =
+        match Rule.condition rule with
+        | None -> true
+        | Some cond ->
+          let cache =
+            if t.config.optimize then Some (Eval.make_cache ()) else None
+          in
+          Eval.eval_predicate ?cache resolve [] cond
+      in
+      record t (Ev_considered { rule = rule.Rule.name; condition_held = cond_holds });
+      Log.debug (fun m ->
+          m "considered %s: condition %b" rule.Rule.name cond_holds);
+      if not cond_holds then loop ()
+      else if Rule.is_rollback rule then begin
+        record t (Ev_rollback { rule = rule.Rule.name });
+        Log.info (fun m -> m "rule %s requested rollback" rule.Rule.name);
+        rollback_to_txn_start t;
+        raise Rolled_back_exc
+      end
+      else begin
+        incr steps;
+        if !steps > t.config.max_steps then begin
+          let name = rule.Rule.name in
+          rollback_to_txn_start t;
+          Errors.raise_error
+            (Errors.Rule_limit_exceeded { rule = name; steps = !steps - 1 })
+        end;
+        t.stats.rule_firings <- t.stats.rule_firings + 1;
+        t.stats.transitions <- t.stats.transitions + 1;
+        let old_db = t.db in
+        let ops = action_block t rule resolve in
+        (* the action's transition tables are based on the acting
+           rule's information and the evolving current state *)
+        let eff, _ =
+          run_ops t ~resolver_of:(fun db -> Transition_tables.resolver info db) ops
+        in
+        record t
+          (Ev_fired { rule = rule.Rule.name; effect_size = Effect.cardinality eff });
+        Log.debug (fun m ->
+            m "fired %s with effect %a" rule.Rule.name Effect.pp eff);
+        (* Figure 1: the acting rule's information restarts from its
+           own transition; every other rule's is extended.  With
+           pruning on, rules irrelevant to the touched tables keep
+           their information untouched. *)
+        let touched = Effect.tables eff in
+        let relevant_to r =
+          List.exists
+            (fun tbl -> Effect.Col_set.mem tbl touched)
+            (Rule.relevant_tables r)
+        in
+        let effect_for r =
+          if t.config.prune_info then Effect.restrict eff (Rule.relevant r)
+          else eff
+        in
+        t.infos <-
+          List.fold_left
+            (fun m r ->
+              if String.equal r.Rule.name rule.Rule.name then
+                Str_map.add r.Rule.name (Trans_info.init (effect_for r) old_db) m
+              else if t.config.prune_info && not (relevant_to r) then m
+              else
+                Str_map.add r.Rule.name
+                  (Trans_info.extend (info_of t r.Rule.name) (effect_for r) old_db)
+                  m)
+            t.infos t.rules;
+        (* new state: every triggered rule becomes considerable again *)
+        considered := Str_set.empty;
+        loop ()
+      end
+  in
+  loop ()
+
+(* Section 5.3 rule triggering point: complete the current external
+   transition, process rules, and (on success) begin a new transition
+   within the same transaction. *)
+let process_rules t =
+  match process_rules_exn t with
+  | () ->
+    t.trans_start <- t.db;
+    Committed
+  | exception Rolled_back_exc -> Rolled_back
+
+let commit t =
+  match process_rules t with
+  | Committed ->
+    t.txn_start <- None;
+    t.infos <- Str_map.empty;
+    Committed
+  | Rolled_back -> Rolled_back
+
+let rollback_txn t =
+  require_txn t;
+  rollback_to_txn_start t
+
+(* The paper's default behaviour: one externally-generated operation
+   block, executed as one transaction with rule processing before
+   commit. *)
+let execute_block t (ops : Ast.op list) =
+  begin_txn t;
+  try
+    let results = submit_ops t ops in
+    let outcome = commit t in
+    (outcome, results)
+  with e ->
+    (* an error inside the block or during rule processing aborts the
+       transaction *)
+    if in_transaction t then rollback_to_txn_start t;
+    raise e
+
+(* Evaluate a query outside any rule context. *)
+let query t (s : Ast.select) = Eval.eval_select (external_resolver t.db) s
+
+(* DDL is not part of the transition model: it applies outside
+   transactions. *)
+let create_table t schema =
+  if in_transaction t then
+    Errors.raise_error
+      (Errors.Transaction_error "DDL inside a transaction is not supported");
+  t.db <- Database.create_table t.db schema
+
+let drop_table t name =
+  if in_transaction t then
+    Errors.raise_error
+      (Errors.Transaction_error "DDL inside a transaction is not supported");
+  (* rules referring to the table in their transition predicates become
+     dangling; reject if any exist *)
+  List.iter
+    (fun r ->
+      let mentions =
+        List.exists
+          (fun p ->
+            match p with
+            | Ast.Tp_inserted t' | Ast.Tp_deleted t'
+            | Ast.Tp_updated (t', _) | Ast.Tp_selected (t', _) ->
+              String.equal t' name)
+          (Rule.trans_preds r)
+      in
+      if mentions then
+        Errors.semantic "cannot drop table %S: rule %S is triggered by it" name
+          r.Rule.name)
+    t.rules;
+  t.db <- Database.drop_table t.db name

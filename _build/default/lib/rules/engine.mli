@@ -1,0 +1,134 @@
+(** The set-oriented rule execution engine: the semantics of paper
+    Section 4 and the algorithm of Figure 1.
+
+    A transaction consists of one externally-generated operation block
+    followed by rule processing just before commit.  Rule processing
+    repeatedly selects a triggered rule whose condition holds and
+    executes its action; the acting rule's transition information
+    restarts from its own transition while every other rule's is
+    composed with the new effect ([init-trans-info] /
+    [modify-trans-info]).  A [rollback] action restores the
+    transaction's start state.
+
+    Section 5.3 rule triggering points are supported: a transaction may
+    interleave several externally-generated operation sequences with
+    explicit {!process_rules} calls; each call completes the current
+    external transition, processes rules to quiescence, and starts a
+    new transition.  {!execute_block} packages the paper's default
+    one-block-one-transaction behaviour. *)
+
+open Relational
+module Ast = Sqlf.Ast
+module Eval = Sqlf.Eval
+
+type config = {
+  max_steps : int;
+      (** Upper bound on rule-action executions per transaction: the
+          run-time guard the paper suggests (Section 4.1, footnote 7)
+          against divergent rule sets.  Exceeding it rolls back and
+          raises [Rule_limit_exceeded]. *)
+  strategy : Selection.strategy;
+  track_selects : bool;
+      (** Section 5.1: maintain the [S] effect component so rules can
+          be triggered by data retrieval. *)
+  optimize : bool;
+      (** Uncorrelated-subquery caching in the evaluator. *)
+  prune_info : bool;
+      (** Keep, per rule, only the transition information on tables its
+          predicates mention (the Section 4.3 optimization remark);
+          semantically invisible. *)
+}
+
+val default_config : config
+(** 10000 steps, creation-order selection, no select tracking,
+    optimizations on. *)
+
+type outcome = Committed | Rolled_back
+
+type stats = {
+  mutable transactions : int;
+  mutable transitions : int;  (** external + rule-generated *)
+  mutable rule_firings : int;  (** actions executed *)
+  mutable conditions_evaluated : int;
+  mutable rollbacks : int;
+}
+
+(** One step of an execution trace (Section 6 tooling: understanding
+    what rules did during a transaction). *)
+type event =
+  | Ev_external of { effect_size : int }
+      (** an external transition completed and rule processing began *)
+  | Ev_considered of { rule : string; condition_held : bool }
+  | Ev_fired of { rule : string; effect_size : int }
+  | Ev_rollback of { rule : string }
+  | Ev_quiescent
+
+type t
+
+val create : ?config:config -> Database.t -> t
+val database : t -> Database.t
+val stats : t -> stats
+val in_transaction : t -> bool
+
+val set_tracing : t -> bool -> unit
+(** Enable per-transaction execution traces (off by default). *)
+
+val trace : t -> event list
+(** The trace of the most recent transaction, oldest event first. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {2 Catalog} *)
+
+val create_rule : t -> Ast.rule_def -> Rule.t
+(** Validates the definition (including that transition predicates name
+    existing tables/columns) and installs the rule.  A rule defined
+    mid-transaction starts with empty transition information. *)
+
+val drop_rule : t -> string -> unit
+val set_rule_active : t -> string -> bool -> unit
+val find_rule : t -> string -> Rule.t option
+val get_rule : t -> string -> Rule.t
+val rules : t -> Rule.t list
+val priorities : t -> Priority.t
+
+val declare_priority : t -> high:string -> low:string -> unit
+(** Both rules must exist; raises [Priority_cycle] on a cycle. *)
+
+val register_procedure : t -> string -> Procedures.procedure -> unit
+
+(** {2 Transactions} *)
+
+val begin_txn : t -> unit
+val submit_ops : t -> Ast.op list -> Eval.relation list
+(** Execute externally-generated operations inside the open
+    transaction, extending the current external transition.  Returns
+    the result rows of any select operations. *)
+
+val process_rules : t -> outcome
+(** Section 5.3 triggering point: complete the current external
+    transition, run rules to quiescence, and (on success) begin a new
+    transition within the same transaction.  [Rolled_back] means a
+    rollback action fired and the whole transaction was undone. *)
+
+val commit : t -> outcome
+(** Process rules, then commit and close the transaction. *)
+
+val rollback_txn : t -> unit
+(** Abort the open transaction, restoring its start state. *)
+
+val execute_block : t -> Ast.op list -> outcome * Eval.relation list
+(** The paper's default behaviour: one externally-generated operation
+    block executed as one transaction with rule processing before
+    commit.  Any error aborts and rolls back before re-raising. *)
+
+(** {2 Queries and DDL} *)
+
+val query : t -> Ast.select -> Eval.relation
+(** Evaluate a query outside any rule context (no transition tables). *)
+
+val create_table : t -> Schema.table -> unit
+(** DDL applies outside transactions only. *)
+
+val drop_table : t -> string -> unit
+(** Rejected while rules are triggered by the table. *)

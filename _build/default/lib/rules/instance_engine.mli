@@ -1,0 +1,42 @@
+(** An instance-oriented (tuple-at-a-time) trigger engine: the baseline
+    the paper argues against (Section 1), in the style of
+    [Esw76]/[SJGP90]/[Coh89].
+
+    It accepts the same rule definitions as the set-oriented engine but
+    applies each rule once per affected tuple, immediately after the
+    operation producing it, depth-first.  When a rule fires for a
+    tuple, its transition tables contain exactly that one tuple.
+
+    This engine exists to make the paper's efficiency claim measurable
+    (benchmark E2) and to let tests contrast the two semantics; it is
+    intentionally faithful to the per-row style, including its
+    inability to express conditions over the whole set of changes. *)
+
+open Relational
+module Ast = Sqlf.Ast
+module Eval = Sqlf.Eval
+
+type config = { max_steps : int }
+
+val default_config : config
+
+type stats = {
+  mutable rule_firings : int;
+  mutable conditions_evaluated : int;
+}
+
+type t
+type outcome = Committed | Rolled_back
+
+val create : ?config:config -> Database.t -> t
+val database : t -> Database.t
+val stats : t -> stats
+val create_rule : t -> Ast.rule_def -> Rule.t
+val create_table : t -> Schema.table -> unit
+
+val execute_block : t -> Ast.op list -> outcome
+(** Execute a block with immediate per-row trigger processing; a
+    [rollback] action (or the step-limit guard) restores the block's
+    start state. *)
+
+val query : t -> Ast.select -> Eval.relation

@@ -1,0 +1,69 @@
+(* User-declared rule ordering (paper Section 4.4).
+
+   "create rule priority R1 before R2" declares that R1 has higher
+   priority than R2.  Any acyclic set of such pairs induces a partial
+   order; a rule is eligible for selection only if no other *triggered*
+   rule is strictly higher.  Adding a pair that would create a cycle is
+   rejected with the offending cycle. *)
+
+open Relational
+module Str_map = Map.Make (String)
+module Str_set = Set.Make (String)
+
+type t = { before : Str_set.t Str_map.t (* rule -> rules it precedes *) }
+
+let empty = { before = Str_map.empty }
+
+let successors t name =
+  Option.value (Str_map.find_opt name t.before) ~default:Str_set.empty
+
+(* Path from [src] to [dst] following the before-relation, if any;
+   used both for cycle detection and for reporting the cycle. *)
+let find_path t src dst =
+  let rec dfs visited path node =
+    if String.equal node dst then Some (List.rev (node :: path))
+    else if Str_set.mem node visited then None
+    else
+      let visited = Str_set.add node visited in
+      Str_set.fold
+        (fun next acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> dfs visited (node :: path) next)
+        (successors t node) None
+  in
+  dfs Str_set.empty [] src
+
+let declare t ~high ~low =
+  if String.equal high low then
+    Errors.raise_error (Errors.Priority_cycle [ high; low ]);
+  (match find_path t low high with
+  | Some path -> Errors.raise_error (Errors.Priority_cycle (path @ [ low ]))
+  | None -> ());
+  let succ = Str_set.add low (successors t high) in
+  { before = Str_map.add high succ t.before }
+
+(* Is [a] strictly higher-priority than [b] (transitively)? *)
+let higher t a b =
+  if String.equal a b then false
+  else Option.is_some (find_path t a b)
+
+let pairs t =
+  Str_map.fold
+    (fun high lows acc ->
+      Str_set.fold (fun low acc -> (high, low) :: acc) lows acc)
+    t.before []
+  |> List.rev
+
+(* Drop every pair mentioning [name]; used when a rule is dropped. *)
+let remove_rule t name =
+  let before =
+    Str_map.filter_map
+      (fun high lows ->
+        if String.equal high name then None
+        else
+          let lows = Str_set.remove name lows in
+          if Str_set.is_empty lows then None else Some lows)
+      t.before
+  in
+  { before }

@@ -1,0 +1,24 @@
+(** User-declared rule ordering (paper Section 4.4).
+
+    ["create rule priority R1 before R2"] declares that [R1] has higher
+    priority than [R2]; any acyclic set of such pairs induces a partial
+    order.  Adding a pair that would create a cycle is rejected with
+    the offending path. *)
+
+type t
+
+val empty : t
+
+val declare : t -> high:string -> low:string -> t
+(** Raises [Priority_cycle] (with the cycle) if [low] already precedes
+    [high] transitively, or if [high = low]. *)
+
+val higher : t -> string -> string -> bool
+(** [higher t a b]: is [a] strictly higher-priority than [b]
+    (transitively)? *)
+
+val pairs : t -> (string * string) list
+(** The declared (high, low) pairs. *)
+
+val remove_rule : t -> string -> t
+(** Drop every pair mentioning the rule; used when a rule is dropped. *)

@@ -1,0 +1,35 @@
+(* External-procedure actions (paper Section 5.2).
+
+   A rule action may be "call p" where [p] is a host-language (OCaml)
+   procedure registered with the engine.  The procedure receives a
+   read-only view of the current database state and of the triggering
+   rule's transition tables, and returns the operation block whose
+   execution is the action's effect on the database — exactly the
+   paper's framing: "the effect on the database of executing an
+   external procedure still corresponds to a sequence of data
+   manipulation operations."  Side effects outside the database
+   (logging, notification) are the procedure's own business and do not
+   participate in rule semantics. *)
+
+module Ast = Sqlf.Ast
+module Eval = Sqlf.Eval
+
+type context = {
+  query : Ast.select -> Eval.relation;
+      (** Evaluate a select against the current state; the select may
+          reference the triggering rule's transition tables. *)
+  rule_name : string;  (** The rule whose action is running. *)
+}
+
+type procedure = context -> Ast.op_block
+
+type registry = (string, procedure) Hashtbl.t
+
+let create () : registry = Hashtbl.create 8
+
+let register registry name fn = Hashtbl.replace registry name fn
+
+let find registry name =
+  match Hashtbl.find_opt registry name with
+  | Some fn -> fn
+  | None -> Relational.Errors.raise_error (Relational.Errors.Unknown_procedure name)

@@ -1,0 +1,69 @@
+(* Production rule catalog entries.
+
+   A rule wraps its definition (Section 3 syntax) with bookkeeping used
+   by the engine: creation sequence (the deterministic tie-breaker for
+   rule selection), activation state, and validation of the Section 3
+   syntactic restriction that conditions and actions may only reference
+   transition tables corresponding to the rule's basic transition
+   predicates. *)
+
+open Relational
+module Ast = Sqlf.Ast
+module Pretty = Sqlf.Pretty
+
+type t = {
+  name : string;
+  def : Ast.rule_def;
+  seq : int; (* creation order; also the default selection order *)
+  active : bool;
+}
+
+(* Section 3: "our syntax does not enforce the restriction that a
+   rule's condition may only refer to transition tables corresponding
+   to its basic transition predicates.  This restriction is syntactic,
+   however, therefore easily checked."  We check it at definition
+   time. *)
+let validate_transition_references (def : Ast.rule_def) =
+  let referenced = Ast.trans_tables_of_rule def in
+  List.iter
+    (fun tt ->
+      let licensed =
+        List.exists (Ast.trans_table_matches_pred tt) def.Ast.trans_preds
+      in
+      if not licensed then
+        Errors.raise_error
+          (Errors.Invalid_transition_reference (Pretty.trans_table_str tt)))
+    referenced
+
+let create ~seq (def : Ast.rule_def) =
+  if def.Ast.trans_preds = [] then
+    Errors.semantic "rule %S has no transition predicate" def.Ast.rule_name;
+  validate_transition_references def;
+  { name = def.Ast.rule_name; def; seq; active = true }
+
+let trans_preds r = r.def.Ast.trans_preds
+
+(* The tables a rule's transition information can ever mention: the
+   tables of its basic transition predicates.  The Section 3 syntactic
+   restriction guarantees its transition-table references stay within
+   this set, so per-rule information may be pruned to it (the paper's
+   Section 4.3 optimization remark). *)
+let relevant_tables r =
+  List.fold_left
+    (fun acc pred ->
+      let t =
+        match pred with
+        | Ast.Tp_inserted t | Ast.Tp_deleted t
+        | Ast.Tp_updated (t, _) | Ast.Tp_selected (t, _) -> t
+      in
+      if List.exists (String.equal t) acc then acc else t :: acc)
+    [] r.def.Ast.trans_preds
+
+let relevant r table = List.exists (String.equal table) (relevant_tables r)
+let condition r = r.def.Ast.condition
+let action r = r.def.Ast.action
+let is_rollback r = match r.def.Ast.action with Ast.Act_rollback -> true | _ -> false
+
+let pp ppf r =
+  Fmt.pf ppf "%s%s" (Pretty.rule_def_str r.def)
+    (if r.active then "" else " -- (deactivated)")

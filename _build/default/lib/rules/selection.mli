@@ -1,0 +1,30 @@
+(** Rule selection (paper Section 4.4).
+
+    When several rules are triggered simultaneously, the engine picks a
+    rule such that no other triggered rule is strictly higher in the
+    declared partial order; a {!strategy} breaks ties among the
+    remaining incomparable rules. *)
+
+type strategy =
+  | Creation_order  (** earliest-defined rule first (deterministic default) *)
+  | Least_recently_considered
+      (** prefer rules considered longest ago: round-robin fairness *)
+  | Most_recently_considered
+      (** prefer rules considered most recently: depth-first chaining *)
+
+(** A logical clock of rule considerations. *)
+type clock
+
+val make_clock : unit -> clock
+val tick : clock -> int
+
+val choose :
+  strategy ->
+  Priority.t ->
+  last_considered:(string -> int) ->
+  Rule.t list ->
+  Rule.t option
+(** Pick from the candidates (rules triggered and not yet considered in
+    the current state): first filter to rules not dominated by another
+    candidate in the partial order, then break ties by strategy and
+    creation sequence.  [None] iff the candidate list is empty. *)

@@ -1,0 +1,96 @@
+(* Materialization of the paper's logical transition tables (Section 3)
+   from a rule's composite transition information:
+
+   - [inserted t]:        current values of tuples of t inserted by the
+                          (composite) transition;
+   - [deleted t]:         previous-state values of deleted tuples of t;
+   - [old updated t[.c]]: previous-state values of updated tuples of t
+                          (restricted to those where column c was
+                          updated, for the ".c" form);
+   - [new updated t[.c]]: current values of the same tuples;
+   - [selected t[.c]]:    current values of retrieved tuples (Section
+                          5.1 extension).
+
+   "Previous state" means the state at the start of the rule's
+   composite transition; Figure 1 records those values incrementally in
+   the trans-info, so materialization needs only the trans-info and the
+   current database state. *)
+
+open Relational
+module Ast = Sqlf.Ast
+module Eval = Sqlf.Eval
+
+let schema_cols schema =
+  Array.map (fun c -> c.Schema.col_name) schema.Schema.columns
+
+(* Deterministic row order: by handle id, i.e. insertion order. *)
+let sorted_bindings bindings =
+  List.sort (fun (h1, _) (h2, _) -> Handle.compare h1 h2) bindings
+
+let relation_of name schema rows =
+  { Eval.rel_name = name; cols = schema_cols schema; rows }
+
+let materialize (ti : Trans_info.t) ~current_db (tt : Ast.trans_table) :
+    Eval.relation =
+  match tt with
+  | Ast.Tt_inserted t ->
+    let schema = Database.schema current_db t in
+    let rows =
+      Handle.Set.elements
+        (Handle.Set.filter
+           (fun h -> String.equal (Handle.table h) t)
+           ti.Trans_info.ins)
+      |> List.map (fun h -> Database.get_row current_db h)
+    in
+    relation_of t schema rows
+  | Ast.Tt_deleted t ->
+    let schema = Database.schema current_db t in
+    let rows =
+      Handle.Map.bindings ti.Trans_info.del
+      |> List.filter (fun (h, _) -> String.equal (Handle.table h) t)
+      |> sorted_bindings
+      |> List.map snd
+    in
+    relation_of t schema rows
+  | Ast.Tt_old_updated (t, col) | Ast.Tt_new_updated (t, col) ->
+    let schema = Database.schema current_db t in
+    let entries =
+      Handle.Map.bindings ti.Trans_info.upd
+      |> List.filter (fun (h, entry) ->
+             String.equal (Handle.table h) t
+             &&
+             match col with
+             | None -> true
+             | Some c -> Effect.Col_set.mem c entry.Trans_info.upd_cols)
+      |> List.sort (fun (h1, _) (h2, _) -> Handle.compare h1 h2)
+    in
+    let rows =
+      match tt with
+      | Ast.Tt_old_updated _ ->
+        List.map (fun (_, entry) -> entry.Trans_info.old_row) entries
+      | _ -> List.map (fun (h, _) -> Database.get_row current_db h) entries
+    in
+    relation_of t schema rows
+  | Ast.Tt_selected (t, col) ->
+    let schema = Database.schema current_db t in
+    let rows =
+      Handle.Map.bindings ti.Trans_info.sel
+      |> List.filter (fun (h, cols) ->
+             String.equal (Handle.table h) t
+             &&
+             match col with
+             | None -> true
+             | Some c -> Effect.Col_set.mem c cols)
+      |> sorted_bindings
+      |> List.filter_map (fun (h, _) -> Database.find_row current_db h)
+    in
+    relation_of t schema rows
+
+(* A resolver that serves base tables from [db] and transition tables
+   from [ti]; this is the evaluation environment for a rule's condition
+   and action (Section 4.1: "evaluation of R's condition may depend on
+   E1, S1, and S0"). *)
+let resolver (ti : Trans_info.t) db : Eval.resolver = function
+  | Ast.Base name -> Eval.relation_of_table (Database.table db name)
+  | Ast.Transition tt -> materialize ti ~current_db:db tt
+  | Ast.Derived _ -> assert false

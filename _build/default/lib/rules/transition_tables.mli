@@ -1,0 +1,27 @@
+(** Materialization of the paper's logical transition tables
+    (Section 3) from a rule's composite transition information:
+
+    - [inserted t]: current values of inserted tuples of [t];
+    - [deleted t]: previous-state values of deleted tuples of [t];
+    - [old updated t[.c]] / [new updated t[.c]]: previous-state and
+      current values of updated tuples (restricted to those where
+      column [c] was updated, for the [.c] forms);
+    - [selected t[.c]]: current values of retrieved tuples (Section 5.1
+      extension).
+
+    "Previous state" means the state at the start of the rule's
+    composite transition; Figure 1 records those values incrementally,
+    so materialization needs only the trans-info and the current
+    database state.  Row order is deterministic (handle order). *)
+
+open Relational
+module Ast = Sqlf.Ast
+module Eval = Sqlf.Eval
+
+val materialize :
+  Trans_info.t -> current_db:Database.t -> Ast.trans_table -> Eval.relation
+
+val resolver : Trans_info.t -> Database.t -> Eval.resolver
+(** A resolver serving base tables from the database and transition
+    tables from the trans-info: the evaluation environment for a rule's
+    condition and action (Section 4.1). *)

@@ -1,0 +1,1 @@
+lib/sql/dml.ml: Array Ast Database Errors Eval Handle List Option Relational Row Schema String Table Value

@@ -1,0 +1,1 @@
+lib/sql/dml.mli: Ast Database Eval Handle Relational Row

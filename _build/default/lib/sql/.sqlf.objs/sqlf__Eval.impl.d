@@ -1,0 +1,1 @@
+lib/sql/eval.ml: Array Ast Database Errors Functions List Map Option Pretty Printf Relational Row Schema Set String Table Value

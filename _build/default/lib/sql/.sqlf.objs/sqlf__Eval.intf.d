@@ -1,0 +1,1 @@
+lib/sql/eval.mli: Ast Database Relational Row Table Value

@@ -1,0 +1,1 @@
+lib/sql/functions.ml: Errors Float List Relational String Value

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Buffer Errors List Option Printf Relational String Token

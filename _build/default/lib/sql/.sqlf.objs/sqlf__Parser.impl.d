@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Errors Lexer List Option Printf Relational Schema String Token Value

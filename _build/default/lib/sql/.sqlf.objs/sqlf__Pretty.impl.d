@@ -1,0 +1,1 @@
+lib/sql/pretty.ml: Ast Buffer List Printf Relational String Value

@@ -1,0 +1,273 @@
+(* Execution of data manipulation operations with their affected sets
+   (paper Section 2.1):
+
+   - insert: the affected set contains the handles of inserted tuples;
+   - delete: the handles of the tuples removed (which after execution
+     identify tuples of a previous database state);
+   - update: one (handle, column) pair for every column assigned by the
+     SET list of every selected tuple, whether or not the stored value
+     changed;
+   - select (Section 5.1 extension): the handles and columns read.
+
+   Each operation runs against a snapshot of the state at its start:
+   tuples are identified first, then changed, so a subquery in a
+   predicate or SET expression never observes the operation's own
+   partial effects. *)
+
+open Relational
+
+type affected =
+  | A_insert of Handle.t list
+  | A_delete of (Handle.t * Row.t) list
+  | A_update of (Handle.t * string list * Row.t) list (* old rows *)
+  | A_select of (Handle.t * string list) list
+
+type op_result = {
+  db : Database.t;
+  affected : affected;
+  result : Eval.relation option; (* rows produced, for select operations *)
+}
+
+(* Build the single-row environment binding a table's row under its
+   table name, used to evaluate per-tuple predicates and SET
+   expressions. *)
+let row_env tbl row =
+  let cols =
+    Array.map (fun c -> c.Schema.col_name) (Table.schema tbl).Schema.columns
+  in
+  [ [ { Eval.bind_name = Table.name tbl; bind_cols = cols; bind_row = row } ] ]
+
+let selected_handles ?cache resolve tbl where =
+  Table.fold
+    (fun h row acc ->
+      let keep =
+        match where with
+        | None -> true
+        | Some pred -> Eval.eval_predicate ?cache resolve (row_env tbl row) pred
+      in
+      if keep then (h, row) :: acc else acc)
+    tbl []
+  |> List.rev
+
+let exec_insert ?cache resolve db table columns source =
+  let tbl = Database.table db table in
+  let schema = Table.schema tbl in
+  let position_row values =
+    (* With an explicit column list, scatter values into schema
+       positions; unspecified columns get their default or NULL. *)
+    match columns with
+    | None ->
+      if List.length values <> Schema.arity schema then
+        Errors.raise_error
+          (Errors.Arity_error
+             {
+               table;
+               expected = Schema.arity schema;
+               got = List.length values;
+             });
+      Array.of_list values
+    | Some cols ->
+      if List.length cols <> List.length values then
+        Errors.semantic "column list and value list have different lengths";
+      let row =
+        Array.map
+          (fun c -> match c.Schema.default with Some v -> v | None -> Value.Null)
+          schema.Schema.columns
+      in
+      List.iter2
+        (fun col v -> row.(Schema.column_index schema col) <- v)
+        cols values;
+      row
+  in
+  let rows =
+    match source with
+    | `Values exprss ->
+      List.map
+        (fun exprs ->
+          position_row (List.map (Eval.eval_expr_in ?cache resolve []) exprs))
+        exprss
+    | `Select s ->
+      let rel = Eval.eval_select ?cache resolve s in
+      List.map (fun row -> position_row (Array.to_list row)) rel.Eval.rows
+  in
+  let db, handles =
+    List.fold_left
+      (fun (db, hs) row ->
+        let db, h = Database.insert db table row in
+        (db, h :: hs))
+      (db, []) rows
+  in
+  { db; affected = A_insert (List.rev handles); result = None }
+
+let exec_delete ?cache resolve db table where =
+  let tbl = Database.table db table in
+  let victims = selected_handles ?cache resolve tbl where in
+  let db =
+    List.fold_left (fun db (h, _) -> Database.delete db h) db victims
+  in
+  { db; affected = A_delete victims; result = None }
+
+let exec_update ?cache resolve db table sets where =
+  let tbl = Database.table db table in
+  let schema = Table.schema tbl in
+  let set_cols = List.map fst sets in
+  List.iter (fun c -> ignore (Schema.column_index schema c)) set_cols;
+  let victims = selected_handles ?cache resolve tbl where in
+  let updates =
+    List.map
+      (fun (h, old_row) ->
+        let env = row_env tbl old_row in
+        let new_row = Array.copy old_row in
+        List.iter
+          (fun (col, e) ->
+            new_row.(Schema.column_index schema col) <-
+              Eval.eval_expr_in ?cache resolve env e)
+          sets;
+        (h, old_row, new_row))
+      victims
+  in
+  let db =
+    List.fold_left (fun db (h, _, new_row) -> Database.update db h new_row) db
+      updates
+  in
+  {
+    db;
+    affected = A_update (List.map (fun (h, old, _) -> (h, set_cols, old)) updates);
+    result = None;
+  }
+
+(* Which columns of base table [name] a select references; used for the
+   column granularity of the Section 5.1 read set.  Falls back to all
+   columns when the reference is unqualified or ambiguous. *)
+let referenced_columns (s : Ast.select) schema binding_name =
+  let all = Schema.column_names schema in
+  let cols = ref [] in
+  let add c = if not (List.exists (String.equal c) !cols) then cols := c :: !cols in
+  let saw_unqualified_match = ref false in
+  let rec walk_expr = function
+    | Ast.Lit _ -> ()
+    | Ast.Col { qualifier = Some q; column } ->
+      if String.equal q binding_name && Schema.has_column schema column then
+        add column
+    | Ast.Col { qualifier = None; column } ->
+      if Schema.has_column schema column then begin
+        saw_unqualified_match := true;
+        add column
+      end
+    | Ast.Binop (_, a, b)
+    | Ast.Cmp (_, a, b)
+    | Ast.And (a, b)
+    | Ast.Or (a, b)
+    | Ast.Like (a, b) ->
+      walk_expr a;
+      walk_expr b
+    | Ast.Neg a | Ast.Not a | Ast.Is_null a | Ast.Is_not_null a -> walk_expr a
+    | Ast.In_list (a, es) | Ast.Not_in_list (a, es) ->
+      walk_expr a;
+      List.iter walk_expr es
+    | Ast.In_select (a, sub) | Ast.Not_in_select (a, sub) ->
+      walk_expr a;
+      walk_select sub
+    | Ast.Exists sub | Ast.Scalar_select sub -> walk_select sub
+    | Ast.Between (a, b, c) ->
+      walk_expr a;
+      walk_expr b;
+      walk_expr c
+    | Ast.Agg (_, Some a) -> walk_expr a
+    | Ast.Agg (_, None) -> ()
+    | Ast.Fn (_, args) -> List.iter walk_expr args
+    | Ast.Case (branches, else_) ->
+      List.iter
+        (fun (c, v) ->
+          walk_expr c;
+          walk_expr v)
+        branches;
+      Option.iter walk_expr else_
+  and walk_select (sub : Ast.select) =
+    List.iter
+      (function
+        | Ast.Star -> cols := List.rev all
+        | Ast.Table_star t -> if String.equal t binding_name then cols := List.rev all
+        | Ast.Proj (e, _) -> walk_expr e)
+      sub.Ast.projections;
+    Option.iter walk_expr sub.Ast.where;
+    List.iter walk_expr sub.Ast.group_by;
+    Option.iter walk_expr sub.Ast.having;
+    List.iter (fun (e, _) -> walk_expr e) sub.Ast.order_by
+  in
+  walk_select s;
+  if !cols = [] || !saw_unqualified_match then
+    (* be conservative when attribution is unclear *)
+    if !cols = [] then all else List.rev !cols
+  else List.rev !cols
+
+(* Read-set tracking for select operations.  For a single-table select
+   the tracked tuples are exactly those satisfying the predicate; for
+   multi-table selects we conservatively track every tuple of each base
+   table referenced in the top-level FROM (documented substitution —
+   the paper leaves this granularity open). *)
+let select_read_set resolve db (s : Ast.select) =
+  let base_items =
+    List.filter_map
+      (fun item ->
+        match item.Ast.source with
+        | Ast.Base t -> Some (t, item.Ast.alias)
+        | Ast.Transition _ | Ast.Derived _ -> None)
+      s.Ast.from
+  in
+  match base_items with
+  | [ (t, alias) ] when s.Ast.group_by = [] ->
+    let tbl = Database.table db t in
+    let binding = Option.value alias ~default:t in
+    let cols = referenced_columns s (Table.schema tbl) binding in
+    let rows =
+      Table.fold
+        (fun h row acc ->
+          let env =
+            [
+              [
+                {
+                  Eval.bind_name = binding;
+                  bind_cols =
+                    Array.map
+                      (fun c -> c.Schema.col_name)
+                      (Table.schema tbl).Schema.columns;
+                  bind_row = row;
+                };
+              ];
+            ]
+          in
+          let keep =
+            match s.Ast.where with
+            | None -> true
+            | Some pred -> (
+              try Eval.eval_predicate resolve env pred with _ -> true)
+          in
+          if keep then (h, cols) :: acc else acc)
+        tbl []
+    in
+    List.rev rows
+  | items ->
+    List.concat_map
+      (fun (t, alias) ->
+        let tbl = Database.table db t in
+        let binding = Option.value alias ~default:t in
+        let cols = referenced_columns s (Table.schema tbl) binding in
+        List.map (fun (h, _) -> (h, cols)) (Table.to_list tbl))
+      items
+
+let exec_op ?(track_selects = false) ?(optimize = true) resolve db
+    (op : Ast.op) : op_result =
+  (* one uncorrelated-subquery cache per operation: the database state
+     is fixed while the operation identifies its tuples *)
+  let cache = if optimize then Some (Eval.make_cache ()) else None in
+  match op with
+  | Ast.Insert { table; columns; source } ->
+    exec_insert ?cache resolve db table columns source
+  | Ast.Delete { table; where } -> exec_delete ?cache resolve db table where
+  | Ast.Update { table; sets; where } ->
+    exec_update ?cache resolve db table sets where
+  | Ast.Select_op s ->
+    let rel = Eval.eval_select ?cache resolve s in
+    let read = if track_selects then select_read_set resolve db s else [] in
+    { db; affected = A_select read; result = Some rel }

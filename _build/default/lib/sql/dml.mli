@@ -1,0 +1,44 @@
+(** Execution of data manipulation operations with their affected sets
+    (paper Section 2.1):
+
+    - insert: the handles of the inserted tuples;
+    - delete: the handles of the removed tuples together with their
+      values (after execution the handles identify tuples of a previous
+      database state);
+    - update: one (handle, columns) entry per selected tuple with its
+      old row — the affected set includes tuples whose stored value did
+      not change;
+    - select (Section 5.1 extension): the handles and columns read.
+
+    Each operation runs against a snapshot of the state at its start:
+    tuples are identified first, then changed, so a subquery in a
+    predicate or SET expression never observes the operation's own
+    partial effects. *)
+
+open Relational
+
+type affected =
+  | A_insert of Handle.t list
+  | A_delete of (Handle.t * Row.t) list
+  | A_update of (Handle.t * string list * Row.t) list  (** old rows *)
+  | A_select of (Handle.t * string list) list
+
+type op_result = {
+  db : Database.t;
+  affected : affected;
+  result : Eval.relation option;  (** rows produced, for select operations *)
+}
+
+val exec_op :
+  ?track_selects:bool ->
+  ?optimize:bool ->
+  Eval.resolver ->
+  Database.t ->
+  Ast.op ->
+  op_result
+(** Execute one operation.  [track_selects] (default [false]) computes
+    the Section 5.1 read set for select operations: precise (rows
+    satisfying the predicate) for single-table selects, conservative
+    (every row of each base table in the top-level FROM) otherwise.
+    [optimize] (default [true]) enables uncorrelated-subquery caching
+    for the operation. *)

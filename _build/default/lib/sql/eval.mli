@@ -1,0 +1,75 @@
+(** Query evaluation.
+
+    The evaluator works over {!relation}s — named column lists plus
+    rows — rather than stored tables, so the same machinery evaluates
+    base tables, derived tables and the paper's transition tables.  A
+    {!resolver} maps AST table sources to relations; the rules engine
+    supplies a resolver that also serves the triggering rule's
+    transition tables.
+
+    Three-valued logic: predicates evaluate to [Bool _] or [Null]
+    (unknown); a row is selected only when the predicate is definitely
+    true. *)
+
+open Relational
+
+type relation = { rel_name : string; cols : string array; rows : Row.t list }
+
+type resolver = Ast.table_source -> relation
+
+val relation_of_table : Table.t -> relation
+
+val base_resolver : Database.t -> resolver
+(** A resolver over base tables only; referencing a transition table
+    raises [Invalid_transition_reference]. *)
+
+(** {2 Environments} *)
+
+type binding = {
+  bind_name : string;
+  bind_cols : string array;
+  bind_row : Row.t;
+}
+
+type env = binding list list
+(** Scopes, innermost first; each frame is the from-list of one
+    select.  Column references resolve innermost-first; within a scope
+    an unqualified reference must be unambiguous. *)
+
+val empty_env : env
+
+(** {2 Uncorrelated-subquery caching}
+
+    Predicates are evaluated once per candidate row; without care an
+    embedded select that does not reference the outer row would be
+    re-evaluated for every row.  A {!cache} shared across the rows of
+    one operation memoizes such subqueries; correlation is detected
+    dynamically on the first evaluation.  A cache is only sound while
+    the database state is fixed — create one per operation or rule
+    condition. *)
+
+type cache
+
+val make_cache : unit -> cache
+
+val join_optimization : bool ref
+(** When true (the default), an equality conjunct in the WHERE clause
+    linking two from-list sources turns the nested-loop join into an
+    order-preserving hash join.  Results are identical; the switch
+    exists for the ablation benchmark. *)
+
+(** {2 Evaluation} *)
+
+val eval_select : ?cache:cache -> ?outer:env -> resolver -> Ast.select -> relation
+(** Evaluate a select operation: cross product of the from-list, WHERE
+    filter, grouping and aggregates, HAVING, projection, DISTINCT,
+    ORDER BY, LIMIT.  [outer] supplies enclosing scopes for correlated
+    evaluation. *)
+
+val eval_expr_in : ?cache:cache -> ?outer:env -> resolver -> env -> Ast.expr -> Value.t
+(** Evaluate an expression in the given environment (aggregates are
+    rejected outside grouped queries). *)
+
+val eval_predicate : ?cache:cache -> ?outer:env -> resolver -> env -> Ast.expr -> bool
+(** Evaluate a predicate and collapse three-valued logic: [true] only
+    when the predicate is definitely true. *)

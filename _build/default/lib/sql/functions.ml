@@ -1,0 +1,92 @@
+(* Scalar SQL functions.  Names are matched lower-case.  Except where
+   noted (coalesce, nullif, ifnull), a NULL argument yields NULL. *)
+
+open Relational
+
+let wrong_arity name = Errors.type_error "wrong number of arguments to %s" name
+
+let numeric1 name f_int f_float = function
+  | [ Value.Null ] -> Value.Null
+  | [ Value.Int n ] -> f_int n
+  | [ Value.Float f ] -> f_float f
+  | [ v ] ->
+    Errors.type_error "%s expects a numeric argument, got %s" name
+      (Value.type_name v)
+  | _ -> wrong_arity name
+
+let string1 name f = function
+  | [ Value.Null ] -> Value.Null
+  | [ Value.Str s ] -> f s
+  | [ v ] ->
+    Errors.type_error "%s expects a string argument, got %s" name
+      (Value.type_name v)
+  | _ -> wrong_arity name
+
+let apply name (args : Value.t list) : Value.t =
+  match name with
+  | "abs" ->
+    numeric1 "abs"
+      (fun n -> Value.Int (abs n))
+      (fun f -> Value.Float (Float.abs f))
+      args
+  | "sign" ->
+    numeric1 "sign"
+      (fun n -> Value.Int (compare n 0))
+      (fun f -> Value.Int (compare f 0.0))
+      args
+  | "floor" ->
+    numeric1 "floor"
+      (fun n -> Value.Int n)
+      (fun f -> Value.Int (int_of_float (Float.floor f)))
+      args
+  | "ceil" | "ceiling" ->
+    numeric1 name
+      (fun n -> Value.Int n)
+      (fun f -> Value.Int (int_of_float (Float.ceil f)))
+      args
+  | "round" -> (
+    match args with
+    | [ v ] -> numeric1 "round" (fun n -> Value.Int n)
+                 (fun f -> Value.Int (int_of_float (Float.round f))) [ v ]
+    | [ Value.Null; _ ] | [ _; Value.Null ] -> Value.Null
+    | [ v; Value.Int digits ] -> (
+      match Value.to_float v with
+      | Some f ->
+        let scale = 10.0 ** float_of_int digits in
+        Value.Float (Float.round (f *. scale) /. scale)
+      | None -> Errors.type_error "round expects a numeric argument")
+    | _ -> wrong_arity "round")
+  | "upper" -> string1 "upper" (fun s -> Value.Str (String.uppercase_ascii s)) args
+  | "lower" -> string1 "lower" (fun s -> Value.Str (String.lowercase_ascii s)) args
+  | "length" -> string1 "length" (fun s -> Value.Int (String.length s)) args
+  | "trim" -> string1 "trim" (fun s -> Value.Str (String.trim s)) args
+  | "substr" | "substring" -> (
+    (* 1-based start; negative or overlong ranges are clamped *)
+    match args with
+    | [ Value.Null; _ ] | [ Value.Null; _; _ ]
+    | [ _; Value.Null ] | [ _; Value.Null; _ ] | [ _; _; Value.Null ] ->
+      Value.Null
+    | [ Value.Str s; Value.Int start ] ->
+      let n = String.length s in
+      let from = max 0 (start - 1) in
+      Value.Str (if from >= n then "" else String.sub s from (n - from))
+    | [ Value.Str s; Value.Int start; Value.Int len ] ->
+      let n = String.length s in
+      let from = max 0 (start - 1) in
+      let len = max 0 (min len (n - from)) in
+      Value.Str (if from >= n then "" else String.sub s from len)
+    | _ -> wrong_arity name)
+  | "coalesce" -> (
+    match List.find_opt (fun v -> not (Value.is_null v)) args with
+    | Some v -> v
+    | None -> Value.Null)
+  | "ifnull" -> (
+    match args with
+    | [ a; b ] -> if Value.is_null a then b else a
+    | _ -> wrong_arity "ifnull")
+  | "nullif" -> (
+    match args with
+    | [ a; b ] ->
+      if Value.truth_holds (Value.eq_sql a b) then Value.Null else a
+    | _ -> wrong_arity "nullif")
+  | other -> Errors.semantic "unknown function %S" other

@@ -1,0 +1,7 @@
+(** Scalar SQL functions: abs, sign, floor, ceil/ceiling, round,
+    upper, lower, length, trim, substr/substring, coalesce, ifnull,
+    nullif.  Names are matched lower-case.  Except for
+    coalesce/ifnull/nullif, a NULL argument yields NULL; unknown names
+    and arity mismatches raise. *)
+
+val apply : string -> Relational.Value.t list -> Relational.Value.t

@@ -1,0 +1,10 @@
+(** Hand-written lexer for the SQL dialect.
+
+    Supports identifiers, integer and float literals, single-quoted
+    strings with [''] escaping, line ([--]) and block comments, and the
+    dialect's operator symbols.  Lexical errors are raised as
+    [Parse_error] with line/column positions. *)
+
+val tokenize : string -> Token.located list
+(** Tokenize a whole input; the result always ends with an {!Token.Eof}
+    token. *)

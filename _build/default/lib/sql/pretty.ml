@@ -1,0 +1,214 @@
+(* Render AST values back to concrete syntax.  Used by the shell's
+   SHOW RULES, by error messages, and by the parser round-trip property
+   tests (parse (print ast) = ast). *)
+
+open Relational
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Concat -> "||"
+
+let cmpop_str = function
+  | Ast.Eq -> "="
+  | Ast.Neq -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let agg_str = function
+  | Ast.Count_star | Ast.Count -> "count"
+  | Ast.Sum -> "sum"
+  | Ast.Avg -> "avg"
+  | Ast.Min -> "min"
+  | Ast.Max -> "max"
+
+let trans_table_str = function
+  | Ast.Tt_inserted t -> "inserted " ^ t
+  | Ast.Tt_deleted t -> "deleted " ^ t
+  | Ast.Tt_old_updated (t, None) -> "old updated " ^ t
+  | Ast.Tt_old_updated (t, Some c) -> Printf.sprintf "old updated %s.%s" t c
+  | Ast.Tt_new_updated (t, None) -> "new updated " ^ t
+  | Ast.Tt_new_updated (t, Some c) -> Printf.sprintf "new updated %s.%s" t c
+  | Ast.Tt_selected (t, None) -> "selected " ^ t
+  | Ast.Tt_selected (t, Some c) -> Printf.sprintf "selected %s.%s" t c
+
+(* Expressions are printed fully parenthesized below the boolean level;
+   this keeps the printer simple and round-trips exactly. *)
+let rec expr_str e =
+  match e with
+  | Ast.Lit v -> Value.to_string v
+  | Ast.Col { qualifier = None; column } -> column
+  | Ast.Col { qualifier = Some q; column } -> q ^ "." ^ column
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (binop_str op) (expr_str b)
+  | Ast.Neg a -> Printf.sprintf "(- %s)" (expr_str a)
+  | Ast.Cmp (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_str a) (cmpop_str op) (expr_str b)
+  | Ast.And (a, b) -> Printf.sprintf "(%s and %s)" (expr_str a) (expr_str b)
+  | Ast.Or (a, b) -> Printf.sprintf "(%s or %s)" (expr_str a) (expr_str b)
+  | Ast.Not a -> Printf.sprintf "(not %s)" (expr_str a)
+  | Ast.Is_null a -> Printf.sprintf "(%s is null)" (expr_str a)
+  | Ast.Is_not_null a -> Printf.sprintf "(%s is not null)" (expr_str a)
+  | Ast.In_list (a, es) ->
+    Printf.sprintf "(%s in (%s))" (expr_str a)
+      (String.concat ", " (List.map expr_str es))
+  | Ast.Not_in_list (a, es) ->
+    Printf.sprintf "(%s not in (%s))" (expr_str a)
+      (String.concat ", " (List.map expr_str es))
+  | Ast.In_select (a, s) ->
+    Printf.sprintf "(%s in (%s))" (expr_str a) (select_str s)
+  | Ast.Not_in_select (a, s) ->
+    Printf.sprintf "(%s not in (%s))" (expr_str a) (select_str s)
+  | Ast.Exists s -> Printf.sprintf "exists (%s)" (select_str s)
+  | Ast.Between (a, low, high) ->
+    Printf.sprintf "(%s between %s and %s)" (expr_str a) (expr_str low)
+      (expr_str high)
+  | Ast.Like (a, p) -> Printf.sprintf "(%s like %s)" (expr_str a) (expr_str p)
+  | Ast.Scalar_select s -> Printf.sprintf "(%s)" (select_str s)
+  | Ast.Agg (Ast.Count_star, _) -> "count(*)"
+  | Ast.Agg (fn, Some a) -> Printf.sprintf "%s(%s)" (agg_str fn) (expr_str a)
+  | Ast.Agg (fn, None) -> Printf.sprintf "%s(*)" (agg_str fn)
+  | Ast.Fn (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_str args))
+  | Ast.Case (branches, else_) ->
+    let bs =
+      List.map
+        (fun (c, v) -> Printf.sprintf "when %s then %s" (expr_str c) (expr_str v))
+        branches
+    in
+    let e =
+      match else_ with
+      | None -> ""
+      | Some v -> Printf.sprintf " else %s" (expr_str v)
+    in
+    Printf.sprintf "case %s%s end" (String.concat " " bs) e
+
+and proj_str = function
+  | Ast.Star -> "*"
+  | Ast.Table_star t -> t ^ ".*"
+  | Ast.Proj (e, None) -> expr_str e
+  | Ast.Proj (e, Some a) -> Printf.sprintf "%s as %s" (expr_str e) a
+
+and from_item_str { Ast.source; alias } =
+  let base =
+    match source with
+    | Ast.Base t -> t
+    | Ast.Transition tt -> trans_table_str tt
+    | Ast.Derived s -> Printf.sprintf "(%s)" (select_str s)
+  in
+  match alias with None -> base | Some a -> base ^ " " ^ a
+
+and select_str (s : Ast.select) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "select ";
+  if s.distinct then Buffer.add_string buf "distinct ";
+  Buffer.add_string buf (String.concat ", " (List.map proj_str s.projections));
+  if s.from <> [] then begin
+    Buffer.add_string buf " from ";
+    Buffer.add_string buf (String.concat ", " (List.map from_item_str s.from))
+  end;
+  (match s.where with
+  | None -> ()
+  | Some w ->
+    Buffer.add_string buf " where ";
+    Buffer.add_string buf (expr_str w));
+  if s.group_by <> [] then begin
+    Buffer.add_string buf " group by ";
+    Buffer.add_string buf (String.concat ", " (List.map expr_str s.group_by))
+  end;
+  (match s.having with
+  | None -> ()
+  | Some h ->
+    Buffer.add_string buf " having ";
+    Buffer.add_string buf (expr_str h));
+  List.iter
+    (fun (op, sub) ->
+      let kw =
+        match op with
+        | Ast.Union -> " union "
+        | Ast.Union_all -> " union all "
+        | Ast.Except -> " except "
+        | Ast.Intersect -> " intersect "
+      in
+      Buffer.add_string buf kw;
+      Buffer.add_string buf (select_str sub))
+    s.compounds;
+  if s.order_by <> [] then begin
+    Buffer.add_string buf " order by ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (e, dir) ->
+              expr_str e ^ match dir with `Asc -> " asc" | `Desc -> " desc")
+            s.order_by))
+  end;
+  (match s.limit with
+  | None -> ()
+  | Some n -> Buffer.add_string buf (Printf.sprintf " limit %d" n));
+  Buffer.contents buf
+
+let op_str = function
+  | Ast.Insert { table; columns; source } ->
+    let cols =
+      match columns with
+      | None -> ""
+      | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+    in
+    let src =
+      match source with
+      | `Values rows ->
+        " values "
+        ^ String.concat ", "
+            (List.map
+               (fun row ->
+                 Printf.sprintf "(%s)"
+                   (String.concat ", " (List.map expr_str row)))
+               rows)
+      | `Select s -> Printf.sprintf " (%s)" (select_str s)
+    in
+    Printf.sprintf "insert into %s%s%s" table cols src
+  | Ast.Delete { table; where } ->
+    let w =
+      match where with None -> "" | Some e -> " where " ^ expr_str e
+    in
+    Printf.sprintf "delete from %s%s" table w
+  | Ast.Update { table; sets; where } ->
+    let sets =
+      String.concat ", "
+        (List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (expr_str e)) sets)
+    in
+    let w =
+      match where with None -> "" | Some e -> " where " ^ expr_str e
+    in
+    Printf.sprintf "update %s set %s%s" table sets w
+  | Ast.Select_op s -> select_str s
+
+let op_block_str ops = String.concat ";\n     " (List.map op_str ops)
+
+let trans_pred_str = function
+  | Ast.Tp_inserted t -> "inserted into " ^ t
+  | Ast.Tp_deleted t -> "deleted from " ^ t
+  | Ast.Tp_updated (t, None) -> "updated " ^ t
+  | Ast.Tp_updated (t, Some c) -> Printf.sprintf "updated %s.%s" t c
+  | Ast.Tp_selected (t, None) -> "selected " ^ t
+  | Ast.Tp_selected (t, Some c) -> Printf.sprintf "selected %s.%s" t c
+
+let action_str = function
+  | Ast.Act_rollback -> "rollback"
+  | Ast.Act_call p -> "call " ^ p
+  | Ast.Act_block ops -> op_block_str ops
+
+let rule_def_str (r : Ast.rule_def) =
+  let cond =
+    match r.condition with
+    | None -> ""
+    | Some c -> Printf.sprintf "\nif   %s" (expr_str c)
+  in
+  Printf.sprintf "create rule %s\nwhen %s%s\nthen %s" r.rule_name
+    (String.concat "\n  or " (List.map trans_pred_str r.trans_preds))
+    cond (action_str r.action)

@@ -1,0 +1,20 @@
+(** Rendering of AST values back to concrete syntax.
+
+    Used by the shell's [show rules], by error messages, and by the
+    parser round-trip tests: for every producible AST value [a],
+    [parse (print a) = a].  Expressions are printed fully parenthesized
+    below the boolean level. *)
+
+val binop_str : Ast.binop -> string
+val cmpop_str : Ast.cmpop -> string
+val agg_str : Ast.agg_fn -> string
+val trans_table_str : Ast.trans_table -> string
+val expr_str : Ast.expr -> string
+val proj_str : Ast.proj -> string
+val from_item_str : Ast.from_item -> string
+val select_str : Ast.select -> string
+val op_str : Ast.op -> string
+val op_block_str : Ast.op_block -> string
+val trans_pred_str : Ast.basic_trans_pred -> string
+val action_str : Ast.action -> string
+val rule_def_str : Ast.rule_def -> string

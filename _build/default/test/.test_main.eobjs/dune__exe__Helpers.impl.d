@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Core Engine Errors Fmt List QCheck_alcotest Row System Value

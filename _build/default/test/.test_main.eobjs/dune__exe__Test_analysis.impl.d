@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Core Fmt List Parser Priority Rules String

@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Constraints Core Engine Helpers List System Value

@@ -1,0 +1,1 @@
+test/test_dml.ml: Alcotest Array Ast Core Database Eval Handle Helpers List Parser Schema Sqlf Table

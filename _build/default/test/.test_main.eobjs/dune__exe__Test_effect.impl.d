@@ -1,0 +1,1 @@
+test/test_effect.ml: Alcotest Ast Core Effect Fmt Handle Helpers List QCheck String

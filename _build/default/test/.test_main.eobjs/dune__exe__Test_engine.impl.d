@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Ast Core Engine Errors Eval Helpers List Parser Procedures Selection System

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Core Helpers List System Value

@@ -1,0 +1,1 @@
+test/test_functions.ml: Alcotest Ast Core Helpers Parser Pretty System

@@ -1,0 +1,1 @@
+test/test_instance_engine.ml: Alcotest Ast Core Database Errors Eval Helpers Instance_engine List Parser Printf Schema Value

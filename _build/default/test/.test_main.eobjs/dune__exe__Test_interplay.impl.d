@@ -1,0 +1,1 @@
+test/test_interplay.ml: Alcotest Array Core Engine Helpers List Printf QCheck Random System Value

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Core Engine Helpers System

@@ -1,0 +1,1 @@
+test/test_properties.ml: Ast Core Database Engine Errors Eval Helpers List Parser Pretty Printf QCheck Row Schema Sqlf String System Table Value

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Array Core Database Handle Helpers Schema Table

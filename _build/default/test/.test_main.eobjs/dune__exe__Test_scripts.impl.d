@@ -1,0 +1,1 @@
+test/test_scripts.ml: Alcotest Core Helpers In_channel List System

@@ -1,0 +1,1 @@
+test/test_sql_edge_cases.ml: Alcotest Array Core Engine Errors Eval Helpers List System Value

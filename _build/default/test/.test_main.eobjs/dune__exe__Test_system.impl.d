@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Core Engine Eval Fmt Helpers List String System Value

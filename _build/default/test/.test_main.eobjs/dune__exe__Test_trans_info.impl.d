@@ -1,0 +1,1 @@
+test/test_trans_info.ml: Alcotest Array Ast Core Database Effect Handle Helpers List Printf QCheck Schema Trans_info

@@ -1,0 +1,1 @@
+test/test_transition_tables.ml: Alcotest Core Helpers Printf System

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Core Gen Helpers List QCheck Value

@@ -1,0 +1,77 @@
+(* Shared helpers for the test suites. *)
+
+open Core
+
+let value_testable =
+  Alcotest.testable (fun ppf v -> Fmt.string ppf (Value.to_string v)) Value.equal
+
+let row_testable =
+  Alcotest.testable (fun ppf r -> Fmt.string ppf (Row.to_string r)) Row.equal
+
+let rows_testable = Alcotest.list row_testable
+
+(* Build a fresh system and run a setup script. *)
+let system ?config script =
+  let s = System.create ?config () in
+  ignore (System.exec s script);
+  s
+
+(* The emp/dept schema used throughout the paper's examples. *)
+let paper_schema =
+  "create table emp (name string, emp_no int, salary float, dept_no int);\n\
+   create table dept (dept_no int, mgr_no int)"
+
+let paper_system ?config () = system ?config paper_schema
+
+let run s sql = ignore (System.exec s sql)
+
+(* Run a query and return the rows. *)
+let rows s sql = snd (System.query s sql)
+
+(* Run a query and return the single cell. *)
+let cell s sql = System.query_value s sql
+
+let int_cell s sql =
+  match cell s sql with
+  | Value.Int n -> n
+  | v -> Alcotest.failf "expected int cell, got %s" (Value.to_string v)
+
+let float_cell s sql =
+  match cell s sql with
+  | Value.Float f -> f
+  | Value.Int n -> float_of_int n
+  | v -> Alcotest.failf "expected numeric cell, got %s" (Value.to_string v)
+
+let string_list_cells s sql =
+  List.map
+    (fun row ->
+      match row with
+      | [| Value.Str name |] -> name
+      | _ -> Alcotest.failf "expected single string column")
+    (rows s sql)
+
+(* Expect that evaluating [f] raises an [Errors.Error]. *)
+let expect_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected an error"
+  | exception Errors.Error _ -> ()
+
+let check_outcome = Alcotest.(check bool)
+
+let committed = function
+  | System.Outcome Engine.Committed -> true
+  | System.Outcome Engine.Rolled_back -> false
+  | System.Msg _ | System.Relation _ -> true
+
+(* Execute one SQL statement and report whether the transaction
+   committed. *)
+let exec_committed s sql =
+  List.for_all committed (System.exec s sql)
+
+let vi n = Value.Int n
+let vf f = Value.Float f
+let vs s = Value.Str s
+let vb b = Value.Bool b
+let vnull = Value.Null
+
+let qtest = QCheck_alcotest.to_alcotest

@@ -1,0 +1,48 @@
+-- A small banking scenario exercising constraints, rules and
+-- transactions together.  Executed by the scripts test suite.
+
+create table account (
+  id int primary key,
+  owner string not null,
+  balance float,
+  check (balance >= 0)
+);
+
+create table transfer_log (from_id int, to_id int, amount float);
+
+-- Every balance update is audited with old and new values joined.
+create table balance_audit (id int, old_balance float, new_balance float);
+
+create rule audit_balances
+when updated account.balance
+then insert into balance_audit
+     (select o.id, o.balance, n.balance
+        from old updated account.balance o, new updated account.balance n
+       where o.id = n.id);;
+
+-- Large single-transaction drains are refused outright.
+create rule no_drain
+when updated account.balance
+if exists (select * from old updated account.balance o,
+                         new updated account.balance n
+            where o.id = n.id and n.balance < 0.1 * o.balance)
+then rollback;;
+
+insert into account values (1, 'ada', 1000), (2, 'bob', 500);
+
+-- a legal transfer: one operation block, rules run at commit
+begin;
+update account set balance = balance - 200 where id = 1;
+update account set balance = balance + 200 where id = 2;
+insert into transfer_log values (1, 2, 200);
+commit;
+
+-- an illegal transfer: would drain account 1; the whole transaction
+-- (both updates) must be rolled back by no_drain
+begin;
+update account set balance = balance - 790 where id = 1;
+update account set balance = balance + 790 where id = 2;
+commit;
+
+-- a check-constraint violation: negative balance
+update account set balance = balance - 10000 where id = 2;

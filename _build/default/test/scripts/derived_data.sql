@@ -1,0 +1,15 @@
+-- Derived-data maintenance: a summary table kept consistent by rules,
+-- including under compound queries and scalar functions.
+
+create table sale (region string, amount float);
+create table region_total (region string, total float);
+
+create rule maintain_totals
+when inserted into sale or deleted from sale or updated sale
+then delete from region_total;
+     insert into region_total
+       (select region, sum(amount) from sale group by region);;
+
+insert into sale values ('north', 10), ('north', 20), ('south', 5);
+update sale set amount = amount * 2 where region = 'south';
+delete from sale where amount < 15;

@@ -1,0 +1,34 @@
+-- The paper's Section 4.5 scenario (Example 4.3) as a plain SQL
+-- script: rules R1 and R2, the management hierarchy, the combined
+-- deletion + salary updates.
+
+create table emp (name string, emp_no int, salary float, dept_no int);
+create table dept (dept_no int, mgr_no int);
+
+create rule r1
+when deleted from emp
+then delete from emp
+      where dept_no in (select dept_no from dept
+                         where mgr_no in (select emp_no from deleted emp));
+     delete from dept
+      where mgr_no in (select emp_no from deleted emp);;
+
+create rule r2
+when updated emp.salary
+if (select avg(salary) from new updated emp.salary) > 50000
+then delete from emp
+      where emp_no in (select emp_no from new updated emp.salary)
+        and salary > 80000;;
+
+create rule priority r2 before r1;
+
+insert into dept values (1, 100), (2, 200), (3, 300);
+insert into emp values
+  ('Jane', 100, 60000, 0), ('Mary', 200, 70000, 1), ('Jim', 300, 40000, 1),
+  ('Bill', 400, 25000, 2), ('Sam', 500, 30000, 3), ('Sue', 600, 30000, 3);
+
+begin;
+delete from emp where emp_no = 100;
+update emp set salary = 85000 where emp_no = 200;
+update emp set salary = 40000 where emp_no = 400;
+commit;

@@ -1,0 +1,35 @@
+-- Semi-naive transitive closure via self-triggering set-oriented
+-- rules: transition tables are the datalog deltas.
+
+create table edge (src int, dst int);
+create table path (src int, dst int);
+
+create rule tc_base
+when inserted into edge
+then insert into path
+  (select e.src, e.dst from inserted edge e
+    where not exists (select * from path p
+                       where p.src = e.src and p.dst = e.dst));;
+
+create rule tc_right
+when inserted into path
+then insert into path
+  (select d.src, e.dst from inserted path d, edge e
+    where e.src = d.dst
+      and not exists (select * from path p
+                       where p.src = d.src and p.dst = e.dst));;
+
+create rule tc_left
+when inserted into path
+then insert into path
+  (select p.src, d.dst from path p, inserted path d
+    where p.dst = d.src
+      and not exists (select * from path p2
+                       where p2.src = p.src and p2.dst = d.dst));;
+
+-- a 6-node chain loaded at once: closure has n*(n-1)/2 = 15 pairs
+insert into edge values (1, 2), (2, 3), (3, 4), (4, 5), (5, 6);
+
+-- an incremental edge creating a diamond: 0 -> 1 and 0 -> 3
+insert into edge values (0, 1);
+insert into edge values (0, 3);

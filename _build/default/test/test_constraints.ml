@@ -1,0 +1,247 @@
+(* Constraint-compiler tests: declarative constraints become production
+   rules that maintain them ([CW90] direction, paper Section 6). *)
+
+open Core
+open Helpers
+
+let test_not_null () =
+  let s = System.create () in
+  run s "create table t (a int, b int)";
+  List.iter
+    (fun def -> ignore (Engine.create_rule (System.engine s) def))
+    (Constraints.compile (Constraints.Not_null { table = "t"; column = "a" }));
+  Alcotest.(check bool) "good insert" true
+    (exec_committed s "insert into t values (1, 1)");
+  Alcotest.(check bool) "null rejected" false
+    (exec_committed s "insert into t values (null, 1)");
+  Alcotest.(check int) "only good row" 1 (int_cell s "select count(*) from t");
+  Alcotest.(check bool) "update to null rejected" false
+    (exec_committed s "update t set a = null");
+  Alcotest.(check bool) "other column may be null" true
+    (exec_committed s "insert into t values (2, null)")
+
+let test_unique_via_ddl () =
+  (* primary key in CREATE TABLE compiles to a uniqueness rule *)
+  let s = System.create () in
+  run s "create table t (id int primary key, v string)";
+  Alcotest.(check bool) "first" true
+    (exec_committed s "insert into t values (1, 'a')");
+  Alcotest.(check bool) "duplicate rejected" false
+    (exec_committed s "insert into t values (1, 'b')");
+  Alcotest.(check int) "one row" 1 (int_cell s "select count(*) from t");
+  Alcotest.(check bool) "other key fine" true
+    (exec_committed s "insert into t values (2, 'b')");
+  Alcotest.(check bool) "update into duplicate rejected" false
+    (exec_committed s "update t set id = 1 where id = 2");
+  (* a swap within one block never has a duplicate in the final state *)
+  Alcotest.(check bool) "swap in one block allowed" true
+    (exec_committed s
+       "begin; update t set id = 3 where id = 2; update t set id = 2 where id \
+        = 1; update t set id = 1 where id = 3; commit")
+
+let test_multi_column_unique () =
+  let s = System.create () in
+  run s "create table t (a int, b int, unique (a, b))";
+  Alcotest.(check bool) "pair 1" true (exec_committed s "insert into t values (1, 1)");
+  Alcotest.(check bool) "pair 2" true (exec_committed s "insert into t values (1, 2)");
+  Alcotest.(check bool) "dup pair rejected" false
+    (exec_committed s "insert into t values (1, 2)")
+
+let test_fk_restrict () =
+  let s = System.create () in
+  run s "create table dept (dept_no int primary key)";
+  run s
+    "create table emp (emp_no int, dept_no int references dept (dept_no))";
+  run s "insert into dept values (1), (2)";
+  Alcotest.(check bool) "valid child" true
+    (exec_committed s "insert into emp values (10, 1)");
+  Alcotest.(check bool) "orphan rejected" false
+    (exec_committed s "insert into emp values (11, 99)");
+  Alcotest.(check bool) "null fk allowed" true
+    (exec_committed s "insert into emp values (12, null)");
+  Alcotest.(check bool) "parent with children protected" false
+    (exec_committed s "delete from dept where dept_no = 1");
+  Alcotest.(check bool) "childless parent deletable" true
+    (exec_committed s "delete from dept where dept_no = 2");
+  Alcotest.(check bool) "retargeting fk checked" false
+    (exec_committed s "update emp set dept_no = 42 where emp_no = 10")
+
+let test_fk_cascade () =
+  let s = System.create () in
+  run s "create table dept (dept_no int primary key)";
+  run s
+    "create table emp (emp_no int, dept_no int, foreign key (dept_no) \
+     references dept (dept_no) on delete cascade)";
+  run s "insert into dept values (1), (2)";
+  run s "insert into emp values (10, 1), (11, 1), (12, 2)";
+  Alcotest.(check bool) "cascade commits" true
+    (exec_committed s "delete from dept where dept_no = 1");
+  Alcotest.(check (list int)) "children cascaded"
+    [ 12 ]
+    (List.map
+       (fun row -> match row with [| Value.Int n |] -> n | _ -> -1)
+       (rows s "select emp_no from emp"));
+  (* direct orphan insert still rejected *)
+  Alcotest.(check bool) "orphan insert rejected" false
+    (exec_committed s "insert into emp values (13, 99)")
+
+let test_fk_set_null () =
+  let s = System.create () in
+  run s "create table dept (dept_no int primary key)";
+  run s
+    "create table emp (emp_no int, dept_no int, foreign key (dept_no) \
+     references dept (dept_no) on delete set null)";
+  run s "insert into dept values (1), (2)";
+  run s "insert into emp values (10, 1), (11, 2)";
+  Alcotest.(check bool) "set-null commits" true
+    (exec_committed s "delete from dept where dept_no = 1");
+  Alcotest.check value_testable "orphaned fk nulled" vnull
+    (cell s "select dept_no from emp where emp_no = 10");
+  Alcotest.check value_testable "other child intact" (vi 2)
+    (cell s "select dept_no from emp where emp_no = 11")
+
+let test_check_constraint () =
+  let s = System.create () in
+  run s "create table emp (emp_no int, salary float, check (salary >= 0))";
+  Alcotest.(check bool) "ok" true
+    (exec_committed s "insert into emp values (1, 100)");
+  Alcotest.(check bool) "negative rejected" false
+    (exec_committed s "insert into emp values (2, -5)");
+  Alcotest.(check bool) "update checked" false
+    (exec_committed s "update emp set salary = -1");
+  (* null salary: predicate unknown, accepted (SQL CHECK semantics
+     reject only definite violations) *)
+  Alcotest.(check bool) "null passes check" true
+    (exec_committed s "insert into emp values (3, null)")
+
+let test_column_check_constraint () =
+  let s = System.create () in
+  run s "create table p (qty int check (qty > 0))";
+  Alcotest.(check bool) "ok" true (exec_committed s "insert into p values (5)");
+  Alcotest.(check bool) "zero rejected" false
+    (exec_committed s "insert into p values (0)")
+
+let test_storage_not_null_from_ddl () =
+  (* NOT NULL in DDL is enforced by the schema layer directly *)
+  let s = System.create () in
+  run s "create table t (a int not null)";
+  Alcotest.(check bool) "ok" true (exec_committed s "insert into t values (1)");
+  expect_error (fun () -> System.exec s "insert into t values (null)");
+  Alcotest.(check int) "not stored" 1 (int_cell s "select count(*) from t")
+
+let test_cascade_plus_restrict_interplay () =
+  (* two FKs onto the same parent: one cascades, one restricts *)
+  let s = System.create () in
+  run s "create table p (id int primary key)";
+  run s
+    "create table kid_c (fk int, foreign key (fk) references p (id) on delete \
+     cascade)";
+  run s
+    "create table kid_r (fk int, foreign key (fk) references p (id) on delete \
+     restrict)";
+  run s "insert into p values (1), (2)";
+  run s "insert into kid_c values (1)";
+  run s "insert into kid_r values (2)";
+  Alcotest.(check bool) "cascade side deletable" true
+    (exec_committed s "delete from p where id = 1");
+  Alcotest.(check int) "cascaded" 0 (int_cell s "select count(*) from kid_c");
+  Alcotest.(check bool) "restrict side protected" false
+    (exec_committed s "delete from p where id = 2")
+
+let test_multi_column_fk_rejected () =
+  let s = System.create () in
+  run s "create table p (a int, b int)";
+  expect_error (fun () ->
+      System.exec s
+        "create table c (x int, y int, foreign key (x, y) references p (a, b))")
+
+let test_assertion_cross_table () =
+  let s = System.create () in
+  run s "create table ledger_debit (amount float)";
+  run s "create table ledger_credit (amount float)";
+  (* the books must balance in every committed state *)
+  run s
+    "create assertion balanced check (coalesce((select sum(amount) from \
+     ledger_debit), 0) = coalesce((select sum(amount) from ledger_credit), 0))";
+  (* balanced block commits *)
+  Alcotest.(check bool) "balanced pair" true
+    (exec_committed s
+       "begin; insert into ledger_debit values (100); insert into \
+        ledger_credit values (100); commit");
+  (* unbalanced block rolls back entirely *)
+  Alcotest.(check bool) "unbalanced rejected" false
+    (exec_committed s "insert into ledger_debit values (50)");
+  Alcotest.(check int) "nothing leaked" 1
+    (int_cell s "select count(*) from ledger_debit");
+  (* it triggers on either table *)
+  Alcotest.(check bool) "credit-only rejected" false
+    (exec_committed s "delete from ledger_credit");
+  (* drop the assertion and the same change is accepted *)
+  run s "drop assertion balanced";
+  Alcotest.(check bool) "after drop" true
+    (exec_committed s "insert into ledger_debit values (50)")
+
+let test_assertion_updates_trigger () =
+  let s = System.create () in
+  run s "create table cap (max_total int)";
+  run s "create table item (v int)";
+  run s "insert into cap values (10)";
+  run s
+    "create assertion capped check ((select coalesce(sum(v), 0) from item) <= \
+     (select max_total from cap))";
+  Alcotest.(check bool) "within cap" true
+    (exec_committed s "insert into item values (4), (5)");
+  Alcotest.(check bool) "over cap" false
+    (exec_committed s "insert into item values (2)");
+  (* updating the cap itself is also guarded *)
+  Alcotest.(check bool) "cap lowered below total" false
+    (exec_committed s "update cap set max_total = 5");
+  Alcotest.(check bool) "cap raised" true
+    (exec_committed s "update cap set max_total = 20")
+
+let test_assertion_without_tables_rejected () =
+  let s = System.create () in
+  expect_error (fun () -> System.exec s "create assertion silly check (1 = 1)")
+
+let test_names_deterministic () =
+  let c = Constraints.Not_null { table = "emp"; column = "salary" } in
+  Alcotest.(check string) "name" "nn_emp_salary" (Constraints.name_of c);
+  let fk =
+    Constraints.Foreign_key
+      {
+        child = "emp";
+        child_column = "dept_no";
+        parent = "dept";
+        parent_column = "dept_no";
+        on_delete = `Cascade;
+      }
+  in
+  Alcotest.(check string) "fk name" "fk_emp_dept_no_dept" (Constraints.name_of fk);
+  Alcotest.(check (list (pair string string))) "priority pairs"
+    [ ("fk_emp_dept_no_dept_cascade", "fk_emp_dept_no_dept_check") ]
+    (Constraints.priority_pairs fk)
+
+let suite =
+  [
+    Alcotest.test_case "not null" `Quick test_not_null;
+    Alcotest.test_case "primary key uniqueness" `Quick test_unique_via_ddl;
+    Alcotest.test_case "multi-column unique" `Quick test_multi_column_unique;
+    Alcotest.test_case "fk restrict" `Quick test_fk_restrict;
+    Alcotest.test_case "fk cascade" `Quick test_fk_cascade;
+    Alcotest.test_case "fk set null" `Quick test_fk_set_null;
+    Alcotest.test_case "check constraint" `Quick test_check_constraint;
+    Alcotest.test_case "column check constraint" `Quick
+      test_column_check_constraint;
+    Alcotest.test_case "ddl not null uses storage" `Quick
+      test_storage_not_null_from_ddl;
+    Alcotest.test_case "cascade and restrict interplay" `Quick
+      test_cascade_plus_restrict_interplay;
+    Alcotest.test_case "multi-column fk rejected" `Quick
+      test_multi_column_fk_rejected;
+    Alcotest.test_case "cross-table assertion" `Quick test_assertion_cross_table;
+    Alcotest.test_case "assertion triggers on updates" `Quick
+      test_assertion_updates_trigger;
+    Alcotest.test_case "table-free assertion rejected" `Quick
+      test_assertion_without_tables_rejected;
+    Alcotest.test_case "deterministic rule names" `Quick test_names_deterministic;
+  ]

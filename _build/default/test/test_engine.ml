@@ -1,0 +1,484 @@
+(* Semantics tests for the set-oriented rule engine (paper Section 4). *)
+
+open Core
+open Helpers
+
+let counter_system () =
+  system "create table c (n int);\ncreate table log (msg string, n int)"
+
+let test_no_rules_commit () =
+  let s = counter_system () in
+  Alcotest.(check bool) "commits" true (exec_committed s "insert into c values (1)");
+  Alcotest.(check int) "row stored" 1 (int_cell s "select count(*) from c")
+
+let test_not_triggered_by_other_table () =
+  let s = counter_system () in
+  run s "create rule r when inserted into log then delete from c";
+  run s "insert into c values (1)";
+  Alcotest.(check int) "untouched" 1 (int_cell s "select count(*) from c")
+
+let test_empty_effect_triggers_nothing () =
+  let s = counter_system () in
+  run s "create rule r when deleted from c then insert into log values ('fired', 0)";
+  (* a delete selecting no tuples produces an empty effect *)
+  run s "delete from c where n = 999";
+  Alcotest.(check int) "no firing" 0 (int_cell s "select count(*) from log")
+
+let test_condition_false_no_action () =
+  let s = counter_system () in
+  run s
+    "create rule r when inserted into c if (select count(*) from c) > 10 then \
+     insert into log values ('fired', 0)";
+  run s "insert into c values (1)";
+  Alcotest.(check int) "not fired" 0 (int_cell s "select count(*) from log")
+
+let test_condition_sees_current_state () =
+  let s = counter_system () in
+  (* condition reads the post-transition (current) state *)
+  run s
+    "create rule r when inserted into c if (select count(*) from c) = 2 then \
+     insert into log values ('two', 2)";
+  run s "insert into c values (1)";
+  Alcotest.(check int) "first: one row, no fire" 0
+    (int_cell s "select count(*) from log");
+  run s "insert into c values (2)";
+  Alcotest.(check int) "second: fires" 1 (int_cell s "select count(*) from log")
+
+(* Self-triggering rule reaching a fixpoint (Section 4.1): decrement a
+   counter until it reaches zero. *)
+let test_self_triggering_fixpoint () =
+  let s = counter_system () in
+  run s "create rule dec when updated c.n or inserted into c if exists (select * from c where n > 0) then update c set n = n - 1 where n > 0";
+  run s "insert into c values (5)";
+  Alcotest.(check int) "reached zero" 0 (int_cell s "select n from c");
+  let st = Engine.stats (System.engine s) in
+  Alcotest.(check int) "fired five times" 5 st.Engine.rule_firings
+
+(* A rule whose action makes no changes stops being re-triggered: its
+   new transition information is empty. *)
+let test_acting_rule_info_resets () =
+  let s = counter_system () in
+  run s
+    "create rule r when inserted into c then delete from c where n < 0";
+  run s "insert into c values (1)";
+  (* delete selected nothing -> empty effect -> r not re-triggered *)
+  let st = Engine.stats (System.engine s) in
+  Alcotest.(check int) "fired once" 1 st.Engine.rule_firings
+
+(* Two triggered rules: the first (by priority) executes; the second is
+   then considered against the COMPOSITE effect of both transitions
+   (Section 4.2). *)
+let test_composite_effect_for_waiting_rule () =
+  let s =
+    system
+      "create table t (a int);\n\
+       create table audit (total int)"
+  in
+  (* hi fires first and inserts 10 more rows into t; lo then counts ALL
+     inserted rows (external 2 + rule-inserted 10) because its
+     transition tables are based on the composite effect *)
+  run s
+    "create rule hi when inserted into t if (select count(*) from t) < 10 \
+     then insert into t (select a + 100 from inserted t); insert into t \
+     (select a + 200 from inserted t)";
+  run s
+    "create rule lo when inserted into t then insert into audit values \
+     ((select count(*) from inserted t))";
+  run s "create rule priority hi before lo";
+  run s "insert into t values (1), (2)";
+  (* hi fires on {1,2} inserting {101,102,201,202}; then hi reconsidered
+     on its own effect {101,102,201,202}: condition (count(t)=6 < 10)
+     holds, inserts {201,202,301,302,401,402} wait - carefully:
+     hi's second firing sees only its own previous transition (4 rows),
+     inserts 8 more; now count(t)=14, condition false. lo then sees the
+     composite: 2 + 4 + 8 = 14 inserted rows. *)
+  Alcotest.(check int) "lo saw composite" 14 (int_cell s "select total from audit")
+
+(* A higher-priority rule that undoes the triggering changes prevents a
+   lower-priority rule from firing (trigger permanence, Section 1 /
+   4.2: composite effect netting). *)
+let test_undo_removes_triggering () =
+  let s = counter_system () in
+  run s "create rule censor when inserted into c then delete from c where n > 100";
+  run s
+    "create rule logger when inserted into c then insert into log values \
+     ('saw', (select count(*) from inserted c))";
+  run s "create rule priority censor before logger";
+  run s "insert into c values (200)";
+  (* censor deleted the only inserted row: logger's composite effect is
+     empty, so it never fires *)
+  Alcotest.(check int) "logger suppressed" 0
+    (int_cell s "select count(*) from log");
+  run s "insert into c values (1)";
+  Alcotest.(check int) "logger fires normally" 1
+    (int_cell s "select count(*) from log")
+
+(* A rule whose condition was false is reconsidered after another
+   rule's transition (Section 4.2). *)
+let test_condition_retry_after_new_transition () =
+  let s = counter_system () in
+  run s
+    "create rule threshold when inserted into c if (select count(*) from c) \
+     >= 3 then insert into log values ('full', 3)";
+  run s
+    "create rule filler when inserted into c if (select count(*) from c) < 3 \
+     then insert into c values (99)";
+  (* threshold considered first (creation order), condition false; filler
+     fires adding rows; threshold must be reconsidered *)
+  run s "insert into c values (1)";
+  Alcotest.(check int) "eventually fired" 1
+    (int_cell s "select count(*) from log");
+  Alcotest.(check int) "three rows" 3 (int_cell s "select count(*) from c")
+
+let test_rollback_action () =
+  let s = counter_system () in
+  run s "insert into c values (1)";
+  run s
+    "create rule guard when updated c.n if exists (select * from c where n < \
+     0) then rollback";
+  Alcotest.(check bool) "rolled back" false
+    (exec_committed s "update c set n = -5");
+  Alcotest.(check int) "value restored" 1 (int_cell s "select n from c");
+  Alcotest.(check bool) "legal update commits" true
+    (exec_committed s "update c set n = 7");
+  Alcotest.(check int) "value updated" 7 (int_cell s "select n from c")
+
+let test_rollback_undoes_rule_actions_too () =
+  let s = counter_system () in
+  run s "create rule chain when inserted into c then insert into log values ('x', 1)";
+  run s
+    "create rule guard when inserted into log then rollback";
+  run s "insert into c values (1)";
+  Alcotest.(check int) "c restored" 0 (int_cell s "select count(*) from c");
+  Alcotest.(check int) "log restored" 0 (int_cell s "select count(*) from log")
+
+let test_divergence_guard () =
+  let config = { Engine.default_config with max_steps = 25 } in
+  let s = system ~config "create table c (n int)" in
+  run s "create rule forever when updated c.n then update c set n = n + 1";
+  run s "insert into c values (0)";
+  (match System.exec s "update c set n = 1" with
+  | _ -> Alcotest.fail "expected divergence error"
+  | exception Errors.Error (Errors.Rule_limit_exceeded { steps; _ }) ->
+    Alcotest.(check int) "steps" 25 steps);
+  (* the transaction was rolled back *)
+  Alcotest.(check int) "state restored" 0 (int_cell s "select n from c")
+
+let test_deactivate_activate () =
+  let s = counter_system () in
+  run s "create rule r when inserted into c then insert into log values ('x', 1)";
+  run s "deactivate rule r";
+  run s "insert into c values (1)";
+  Alcotest.(check int) "inactive" 0 (int_cell s "select count(*) from log");
+  run s "activate rule r";
+  run s "insert into c values (2)";
+  Alcotest.(check int) "active" 1 (int_cell s "select count(*) from log")
+
+let test_drop_rule () =
+  let s = counter_system () in
+  run s "create rule r when inserted into c then insert into log values ('x', 1)";
+  run s "drop rule r";
+  run s "insert into c values (1)";
+  Alcotest.(check int) "dropped" 0 (int_cell s "select count(*) from log");
+  expect_error (fun () -> System.exec s "drop rule r")
+
+let test_duplicate_rule_rejected () =
+  let s = counter_system () in
+  run s "create rule r when inserted into c then delete from log";
+  expect_error (fun () ->
+      System.exec s "create rule r when inserted into c then delete from log")
+
+let test_priority_cycle_rejected () =
+  let s = counter_system () in
+  run s "create rule a when inserted into c then delete from log";
+  run s "create rule b when inserted into c then delete from log";
+  run s "create rule priority a before b";
+  expect_error (fun () -> System.exec s "create rule priority b before a");
+  expect_error (fun () -> System.exec s "create rule priority a before a")
+
+let test_priority_unknown_rule_rejected () =
+  let s = counter_system () in
+  run s "create rule a when inserted into c then delete from log";
+  expect_error (fun () -> System.exec s "create rule priority a before ghost")
+
+(* Explicit transactions: several statements form one operation block;
+   rules run at commit. *)
+let test_explicit_transaction () =
+  let s = counter_system () in
+  run s
+    "create rule r when inserted into c then insert into log values ('batch', \
+     (select count(*) from inserted c))";
+  run s "begin";
+  run s "insert into c values (1)";
+  run s "insert into c values (2)";
+  run s "insert into c values (3)";
+  Alcotest.(check int) "rules not yet run" 0
+    (int_cell s "select count(*) from log");
+  run s "commit";
+  (* one firing over the whole set, not three *)
+  Alcotest.(check int) "one firing" 1 (int_cell s "select count(*) from log");
+  Alcotest.(check int) "saw all three" 3 (int_cell s "select n from log")
+
+let test_explicit_rollback_statement () =
+  let s = counter_system () in
+  run s "begin";
+  run s "insert into c values (1)";
+  run s "rollback";
+  Alcotest.(check int) "nothing" 0 (int_cell s "select count(*) from c")
+
+(* Section 5.3 rule triggering points. *)
+let test_process_rules_triggering_point () =
+  let s = counter_system () in
+  run s
+    "create rule r when inserted into c then insert into log values ('seen', \
+     (select count(*) from inserted c))";
+  run s "begin";
+  run s "insert into c values (1)";
+  run s "insert into c values (2)";
+  run s "process rules";
+  (* first processing: one firing over two inserts *)
+  Alcotest.(check int) "first batch" 2 (int_cell s "select max(n) from log");
+  run s "insert into c values (3)";
+  run s "commit";
+  (* second processing sees only the third insert *)
+  Alcotest.(check rows_testable) "two firings"
+    [ [| vi 2 |]; [| vi 1 |] ]
+    (rows s "select n from log");
+  Alcotest.(check int) "three rows" 3 (int_cell s "select count(*) from c")
+
+let test_rollback_after_triggering_point_restores_all () =
+  let s = counter_system () in
+  run s
+    "create rule guard when inserted into c if exists (select * from c where \
+     n < 0) then rollback";
+  run s "begin";
+  run s "insert into c values (1)";
+  run s "process rules";
+  run s "insert into c values (-1)";
+  (* commit triggers the guard; rollback must restore to the state
+     before the FIRST block, discarding the already-processed insert *)
+  (match System.exec s "commit" with
+  | [ System.Outcome Engine.Rolled_back ] -> ()
+  | _ -> Alcotest.fail "expected rollback");
+  Alcotest.(check int) "everything gone" 0 (int_cell s "select count(*) from c")
+
+(* Section 5.1: rules triggered by data retrieval. *)
+let test_select_triggered_rule () =
+  let config = { Engine.default_config with track_selects = true } in
+  let s =
+    system ~config
+      "create table secrets (id int, payload string);\n\
+       create table audit (id int)"
+  in
+  run s
+    "create rule auditor when selected secrets then insert into audit (select \
+     id from selected secrets)";
+  run s "insert into secrets values (1, 'a'), (2, 'b')";
+  Alcotest.(check int) "no audit yet" 0 (int_cell s "select count(*) from audit");
+  (* retrieval inside a transaction triggers the rule at commit *)
+  run s "begin";
+  run s "select payload from secrets where id = 2";
+  run s "commit";
+  Alcotest.(check rows_testable) "read audited" [ [| vi 2 |] ]
+    (rows s "select id from audit")
+
+let test_select_not_tracked_by_default () =
+  let s =
+    system
+      "create table secrets (id int, payload string);\n\
+       create table audit (id int)"
+  in
+  run s
+    "create rule auditor when selected secrets then insert into audit (select \
+     id from selected secrets)";
+  run s "insert into secrets values (1, 'a')";
+  run s "begin";
+  run s "select payload from secrets";
+  run s "commit";
+  Alcotest.(check int) "not tracked" 0 (int_cell s "select count(*) from audit")
+
+(* Section 5.2: external procedure actions. *)
+let test_external_procedure_action () =
+  let s = counter_system () in
+  let observed = ref [] in
+  System.register_procedure s "observe" (fun ctx ->
+      let rel =
+        ctx.Procedures.query
+          (Parser.parse_select_string "select n from inserted c")
+      in
+      observed :=
+        List.map (fun row -> row.(0)) rel.Eval.rows @ !observed;
+      (* the returned block is the action's database effect *)
+      [
+        (match Parser.parse_statement_string
+                 "insert into log values ('proc', 0)"
+         with
+        | Ast.Stmt_op op -> op
+        | _ -> assert false);
+      ]);
+  run s "create rule r when inserted into c then call observe";
+  run s "insert into c values (41), (42)";
+  Alcotest.(check int) "procedure saw both" 2 (List.length !observed);
+  Alcotest.(check int) "block applied" 1 (int_cell s "select count(*) from log")
+
+let test_unknown_procedure () =
+  let s = counter_system () in
+  run s "create rule r when inserted into c then call ghost";
+  expect_error (fun () -> System.exec s "insert into c values (1)")
+
+let test_error_mid_block_aborts () =
+  let s = counter_system () in
+  run s "insert into c values (1)";
+  (* second op references an unknown column: whole block must abort *)
+  (match
+     System.exec_block s
+       "insert into c values (2); update c set nope = 1"
+   with
+  | _ -> Alcotest.fail "expected error"
+  | exception Errors.Error _ -> ());
+  Alcotest.(check int) "block undone" 1 (int_cell s "select count(*) from c")
+
+let test_stats_counting () =
+  let s = counter_system () in
+  run s "create rule r when inserted into c then delete from log";
+  run s "insert into c values (1)";
+  run s "insert into c values (2)";
+  let st = Engine.stats (System.engine s) in
+  Alcotest.(check int) "transactions" 2 st.Engine.transactions;
+  Alcotest.(check int) "firings" 2 st.Engine.rule_firings;
+  Alcotest.(check bool) "conditions >= firings" true
+    (st.Engine.conditions_evaluated >= st.Engine.rule_firings)
+
+(* Selection strategies: with mutually-triggering rules, least- vs
+   most-recently-considered visit in different orders. *)
+let strategy_trace strategy =
+  let config = { Engine.default_config with strategy } in
+  let s =
+    system ~config
+      "create table t (x int);\ncreate table trace (who string, seq int)"
+  in
+  (* both rules append their name; each fires at most twice via a
+     guard on how many times it has written *)
+  run s
+    "create rule ra when inserted into t or inserted into trace if (select \
+     count(*) from trace where who = 'ra') < 2 then insert into trace values \
+     ('ra', (select count(*) from trace))";
+  run s
+    "create rule rb when inserted into t or inserted into trace if (select \
+     count(*) from trace where who = 'rb') < 2 then insert into trace values \
+     ('rb', (select count(*) from trace))";
+  run s "insert into t values (1)";
+  string_list_cells s "select who from trace order by seq"
+
+let test_selection_strategies () =
+  (* creation order keeps preferring ra until its condition goes false *)
+  Alcotest.(check (list string)) "creation order chains first rule"
+    [ "ra"; "ra"; "rb"; "rb" ]
+    (strategy_trace Selection.Creation_order);
+  (* least-recently-considered also alternates, starting with ra *)
+  Alcotest.(check (list string)) "lrc alternates"
+    [ "ra"; "rb"; "ra"; "rb" ]
+    (strategy_trace Selection.Least_recently_considered);
+  (* most-recently-considered chains the same rule while possible *)
+  Alcotest.(check (list string)) "mrc chains"
+    [ "ra"; "ra"; "rb"; "rb" ]
+    (strategy_trace Selection.Most_recently_considered)
+
+let test_priority_beats_strategy () =
+  let config =
+    { Engine.default_config with strategy = Selection.Most_recently_considered }
+  in
+  let s =
+    system ~config "create table t (x int);\ncreate table trace (who string)"
+  in
+  run s
+    "create rule lo when inserted into t then insert into trace values ('lo')";
+  run s
+    "create rule hi when inserted into t then insert into trace values ('hi')";
+  run s "create rule priority hi before lo";
+  run s "insert into t values (1)";
+  Alcotest.(check (list string)) "hi first" [ "hi"; "lo" ]
+    (string_list_cells s "select who from trace")
+
+(* The Section 4.3 pruning optimization must be semantically invisible:
+   the composite-effect scenario behaves identically with it on or
+   off. *)
+let test_prune_info_equivalence () =
+  let outcome prune_info =
+    let config = { Engine.default_config with prune_info } in
+    let s =
+      system ~config
+        "create table t (a int);\ncreate table audit (total int)"
+    in
+    run s
+      "create rule hi when inserted into t if (select count(*) from t) < 10 \
+       then insert into t (select a + 100 from inserted t); insert into t \
+       (select a + 200 from inserted t)";
+    run s
+      "create rule lo when inserted into t then insert into audit values \
+       ((select count(*) from inserted t))";
+    run s "create rule priority hi before lo";
+    run s "insert into t values (1), (2)";
+    ( int_cell s "select total from audit",
+      int_cell s "select count(*) from t",
+      (Engine.stats (System.engine s)).Engine.rule_firings )
+  in
+  let pruned = outcome true and naive = outcome false in
+  Alcotest.(check (triple int int int)) "identical behaviour" naive pruned
+
+let suite =
+  [
+    Alcotest.test_case "no rules" `Quick test_no_rules_commit;
+    Alcotest.test_case "prune-info optimization invisible" `Quick
+      test_prune_info_equivalence;
+    Alcotest.test_case "not triggered by other table" `Quick
+      test_not_triggered_by_other_table;
+    Alcotest.test_case "empty effect triggers nothing" `Quick
+      test_empty_effect_triggers_nothing;
+    Alcotest.test_case "false condition blocks action" `Quick
+      test_condition_false_no_action;
+    Alcotest.test_case "condition sees current state" `Quick
+      test_condition_sees_current_state;
+    Alcotest.test_case "self-triggering fixpoint" `Quick
+      test_self_triggering_fixpoint;
+    Alcotest.test_case "acting rule info resets" `Quick
+      test_acting_rule_info_resets;
+    Alcotest.test_case "waiting rule sees composite effect" `Quick
+      test_composite_effect_for_waiting_rule;
+    Alcotest.test_case "undo removes triggering" `Quick
+      test_undo_removes_triggering;
+    Alcotest.test_case "condition retried after new transition" `Quick
+      test_condition_retry_after_new_transition;
+    Alcotest.test_case "rollback action" `Quick test_rollback_action;
+    Alcotest.test_case "rollback undoes rule actions" `Quick
+      test_rollback_undoes_rule_actions_too;
+    Alcotest.test_case "divergence guard" `Quick test_divergence_guard;
+    Alcotest.test_case "deactivate/activate" `Quick test_deactivate_activate;
+    Alcotest.test_case "drop rule" `Quick test_drop_rule;
+    Alcotest.test_case "duplicate rule rejected" `Quick
+      test_duplicate_rule_rejected;
+    Alcotest.test_case "priority cycle rejected" `Quick
+      test_priority_cycle_rejected;
+    Alcotest.test_case "priority needs known rules" `Quick
+      test_priority_unknown_rule_rejected;
+    Alcotest.test_case "explicit transaction batches" `Quick
+      test_explicit_transaction;
+    Alcotest.test_case "explicit rollback statement" `Quick
+      test_explicit_rollback_statement;
+    Alcotest.test_case "process rules triggering point" `Quick
+      test_process_rules_triggering_point;
+    Alcotest.test_case "rollback restores past triggering point" `Quick
+      test_rollback_after_triggering_point_restores_all;
+    Alcotest.test_case "select-triggered rule (ext 5.1)" `Quick
+      test_select_triggered_rule;
+    Alcotest.test_case "selects untracked by default" `Quick
+      test_select_not_tracked_by_default;
+    Alcotest.test_case "external procedure action (ext 5.2)" `Quick
+      test_external_procedure_action;
+    Alcotest.test_case "unknown procedure" `Quick test_unknown_procedure;
+    Alcotest.test_case "error mid-block aborts" `Quick test_error_mid_block_aborts;
+    Alcotest.test_case "stats counting" `Quick test_stats_counting;
+    Alcotest.test_case "selection strategies" `Quick test_selection_strategies;
+    Alcotest.test_case "priority beats strategy" `Quick
+      test_priority_beats_strategy;
+  ]

@@ -1,0 +1,96 @@
+(* Scalar function tests, end-to-end through SQL. *)
+
+open Core
+open Helpers
+
+let s () =
+  let s =
+    system "create table t (n int, f float, v string)"
+  in
+  run s "insert into t values (-3, 2.5, ' Hello ')";
+  s
+
+let one s sql = cell s sql
+
+let test_numeric_functions () =
+  let s = s () in
+  Alcotest.check value_testable "abs int" (vi 3) (one s "select abs(n) from t");
+  Alcotest.check value_testable "abs float" (vf 2.5) (one s "select abs(0 - f) from t");
+  Alcotest.check value_testable "sign" (vi (-1)) (one s "select sign(n) from t");
+  Alcotest.check value_testable "floor" (vi 2) (one s "select floor(f) from t");
+  Alcotest.check value_testable "ceil" (vi 3) (one s "select ceil(f) from t");
+  (* half rounds away from zero *)
+  Alcotest.check value_testable "round" (vi 3) (one s "select round(f) from t");
+  Alcotest.check value_testable "round digits" (vf 2.5)
+    (one s "select round(f, 1) from t");
+  Alcotest.check value_testable "null propagates" vnull
+    (one s "select abs(null) from t")
+
+let test_string_functions () =
+  let s = s () in
+  Alcotest.check value_testable "upper" (vs " HELLO ")
+    (one s "select upper(v) from t");
+  Alcotest.check value_testable "lower" (vs " hello ")
+    (one s "select lower(v) from t");
+  Alcotest.check value_testable "length" (vi 7) (one s "select length(v) from t");
+  Alcotest.check value_testable "trim" (vs "Hello") (one s "select trim(v) from t");
+  Alcotest.check value_testable "substr" (vs "Hel")
+    (one s "select substr(trim(v), 1, 3) from t");
+  Alcotest.check value_testable "substr overflow" (vs "")
+    (one s "select substr(v, 100) from t")
+
+let test_null_handling_functions () =
+  let s = s () in
+  Alcotest.check value_testable "coalesce" (vi 5)
+    (one s "select coalesce(null, null, 5, 7) from t");
+  Alcotest.check value_testable "coalesce all null" vnull
+    (one s "select coalesce(null, null) from t");
+  Alcotest.check value_testable "ifnull hit" (vi 9)
+    (one s "select ifnull(null, 9) from t");
+  Alcotest.check value_testable "ifnull miss" (vi (-3))
+    (one s "select ifnull(n, 9) from t");
+  Alcotest.check value_testable "nullif equal" vnull
+    (one s "select nullif(1, 1) from t");
+  Alcotest.check value_testable "nullif different" (vi 1)
+    (one s "select nullif(1, 2) from t")
+
+let test_functions_in_predicates_and_rules () =
+  let s =
+    system "create table emp (name string, salary float);\ncreate table log \
+            (name string)"
+  in
+  (* functions compose with rules and transition tables *)
+  run s
+    "create rule shout when inserted into emp then insert into log (select \
+     upper(name) from inserted emp where abs(salary) > 100)";
+  run s "insert into emp values ('ada', 200), ('bob', 50)";
+  Alcotest.(check (list string)) "rule used functions" [ "ADA" ]
+    (string_list_cells s "select name from log")
+
+let test_function_errors () =
+  let s = s () in
+  expect_error (fun () -> System.query s "select nosuchfn(1) from t");
+  expect_error (fun () -> System.query s "select abs(1, 2) from t");
+  expect_error (fun () -> System.query s "select upper(1) from t");
+  expect_error (fun () -> System.query s "select length() from t")
+
+let test_function_round_trip () =
+  let sql = "select coalesce(upper(v), substr(v, 1, 2)) from t" in
+  let ast = Parser.parse_statement_string sql in
+  match ast with
+  | Ast.Stmt_op op ->
+    Alcotest.(check bool) "round trip" true
+      (Parser.parse_statement_string (Pretty.op_str op) = ast)
+  | _ -> Alcotest.fail "statement kind"
+
+let suite =
+  [
+    Alcotest.test_case "numeric functions" `Quick test_numeric_functions;
+    Alcotest.test_case "string functions" `Quick test_string_functions;
+    Alcotest.test_case "null-handling functions" `Quick
+      test_null_handling_functions;
+    Alcotest.test_case "functions inside rules" `Quick
+      test_functions_in_predicates_and_rules;
+    Alcotest.test_case "function errors" `Quick test_function_errors;
+    Alcotest.test_case "function round trip" `Quick test_function_round_trip;
+  ]

@@ -1,0 +1,26 @@
+(* Test runner aggregating all suites. *)
+
+let () =
+  Alcotest.run "sopr"
+    [
+      ("value", Test_value.suite);
+      ("schema-storage", Test_schema.suite);
+      ("effect", Test_effect.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("eval", Test_eval.suite);
+      ("dml", Test_dml.suite);
+      ("trans-info", Test_trans_info.suite);
+      ("transition-tables", Test_transition_tables.suite);
+      ("engine", Test_engine.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("instance-engine", Test_instance_engine.suite);
+      ("analysis", Test_analysis.suite);
+      ("constraints", Test_constraints.suite);
+      ("system", Test_system.suite);
+      ("sql-edge-cases", Test_sql_edge_cases.suite);
+      ("functions", Test_functions.suite);
+      ("scripts", Test_scripts.suite);
+      ("interplay", Test_interplay.suite);
+      ("properties", Test_properties.suite);
+    ]

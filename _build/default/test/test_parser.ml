@@ -1,0 +1,331 @@
+(* Parser tests: structural assertions plus print/reparse round-trips
+   (including all the paper's example rules verbatim). *)
+
+open Core
+open Helpers
+
+let parse_one = Parser.parse_statement_string
+let parse_expr = Parser.parse_expr_string
+
+let test_expr_precedence () =
+  (match parse_expr "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Lit _, Ast.Binop (Ast.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "mul binds tighter than add");
+  (match parse_expr "a or b and c" with
+  | Ast.Or (_, Ast.And (_, _)) -> ()
+  | _ -> Alcotest.fail "and binds tighter than or");
+  (match parse_expr "not a = 1" with
+  | Ast.Not (Ast.Cmp (Ast.Eq, _, _)) -> ()
+  | _ -> Alcotest.fail "not applies to comparison");
+  (match parse_expr "- 2 + 3" with
+  | Ast.Binop (Ast.Add, Ast.Neg _, _) -> ()
+  | _ -> Alcotest.fail "unary minus binds tight");
+  match parse_expr "1 < 2 and 3 < 4" with
+  | Ast.And (Ast.Cmp _, Ast.Cmp _) -> ()
+  | _ -> Alcotest.fail "comparisons under and"
+
+let test_expr_predicates () =
+  (match parse_expr "x is null" with
+  | Ast.Is_null _ -> ()
+  | _ -> Alcotest.fail "is null");
+  (match parse_expr "x is not null" with
+  | Ast.Is_not_null _ -> ()
+  | _ -> Alcotest.fail "is not null");
+  (match parse_expr "x in (1, 2, 3)" with
+  | Ast.In_list (_, [ _; _; _ ]) -> ()
+  | _ -> Alcotest.fail "in list");
+  (match parse_expr "x not in (select a from t)" with
+  | Ast.Not_in_select _ -> ()
+  | _ -> Alcotest.fail "not in select");
+  (match parse_expr "x between 1 and 10" with
+  | Ast.Between _ -> ()
+  | _ -> Alcotest.fail "between");
+  (match parse_expr "x not between 1 and 10" with
+  | Ast.Not (Ast.Between _) -> ()
+  | _ -> Alcotest.fail "not between");
+  (match parse_expr "name like 'J%'" with
+  | Ast.Like _ -> ()
+  | _ -> Alcotest.fail "like");
+  (match parse_expr "exists (select * from t)" with
+  | Ast.Exists _ -> ()
+  | _ -> Alcotest.fail "exists");
+  match parse_expr "case when a = 1 then 'one' else 'other' end" with
+  | Ast.Case ([ _ ], Some _) -> ()
+  | _ -> Alcotest.fail "case"
+
+let test_select_clauses () =
+  let s =
+    Parser.parse_select_string
+      "select distinct d.dept_no, avg(salary) as a from emp e, dept d where \
+       e.dept_no = d.dept_no group by d.dept_no having count(*) > 2 order by \
+       a desc limit 5"
+  in
+  Alcotest.(check bool) "distinct" true s.Ast.distinct;
+  Alcotest.(check int) "projections" 2 (List.length s.Ast.projections);
+  Alcotest.(check int) "from" 2 (List.length s.Ast.from);
+  Alcotest.(check bool) "where" true (s.Ast.where <> None);
+  Alcotest.(check int) "group by" 1 (List.length s.Ast.group_by);
+  Alcotest.(check bool) "having" true (s.Ast.having <> None);
+  Alcotest.(check int) "order by" 1 (List.length s.Ast.order_by);
+  Alcotest.(check (option int)) "limit" (Some 5) s.Ast.limit
+
+let test_transition_table_references () =
+  let s =
+    Parser.parse_select_string
+      "select * from inserted emp i, deleted dept, old updated emp.salary o, \
+       new updated emp"
+  in
+  match s.Ast.from with
+  | [
+   { Ast.source = Ast.Transition (Ast.Tt_inserted "emp"); alias = Some "i" };
+   { Ast.source = Ast.Transition (Ast.Tt_deleted "dept"); alias = None };
+   {
+     Ast.source = Ast.Transition (Ast.Tt_old_updated ("emp", Some "salary"));
+     alias = Some "o";
+   };
+   { Ast.source = Ast.Transition (Ast.Tt_new_updated ("emp", None)); alias = None };
+  ] -> ()
+  | _ -> Alcotest.fail "transition table references"
+
+let test_insert_forms () =
+  (match parse_one "insert into t values (1, 'a', null)" with
+  | Ast.Stmt_op (Ast.Insert { columns = None; source = `Values [ [ _; _; _ ] ]; _ })
+    -> ()
+  | _ -> Alcotest.fail "insert values");
+  (match parse_one "insert into t values (1), (2), (3)" with
+  | Ast.Stmt_op (Ast.Insert { source = `Values [ _; _; _ ]; _ }) -> ()
+  | _ -> Alcotest.fail "multi-row insert");
+  (match parse_one "insert into t (a, b) values (1, 2)" with
+  | Ast.Stmt_op (Ast.Insert { columns = Some [ "a"; "b" ]; _ }) -> ()
+  | _ -> Alcotest.fail "insert with columns");
+  (match parse_one "insert into t (select * from s)" with
+  | Ast.Stmt_op (Ast.Insert { source = `Select _; _ }) -> ()
+  | _ -> Alcotest.fail "insert select parenthesized");
+  match parse_one "insert into t select * from s" with
+  | Ast.Stmt_op (Ast.Insert { source = `Select _; _ }) -> ()
+  | _ -> Alcotest.fail "insert select bare"
+
+let test_update_delete () =
+  (match parse_one "update emp set salary = salary * 1.1, name = 'x' where emp_no = 1" with
+  | Ast.Stmt_op (Ast.Update { sets = [ ("salary", _); ("name", _) ]; where = Some _; _ })
+    -> ()
+  | _ -> Alcotest.fail "update");
+  (match parse_one "delete from emp" with
+  | Ast.Stmt_op (Ast.Delete { where = None; _ }) -> ()
+  | _ -> Alcotest.fail "delete all");
+  match parse_one "delete from emp where salary > 10" with
+  | Ast.Stmt_op (Ast.Delete { where = Some _; _ }) -> ()
+  | _ -> Alcotest.fail "delete where"
+
+let test_rule_definition () =
+  let stmt =
+    parse_one
+      "create rule r1 when inserted into emp or deleted from emp or updated \
+       emp.salary if exists (select * from emp) then delete from emp where \
+       emp_no = 1"
+  in
+  match stmt with
+  | Ast.Stmt_create_rule def ->
+    Alcotest.(check string) "name" "r1" def.Ast.rule_name;
+    Alcotest.(check int) "preds" 3 (List.length def.Ast.trans_preds);
+    Alcotest.(check bool) "condition" true (def.Ast.condition <> None);
+    (match def.Ast.action with
+    | Ast.Act_block [ Ast.Delete _ ] -> ()
+    | _ -> Alcotest.fail "action")
+  | _ -> Alcotest.fail "not a rule"
+
+let test_rule_multi_op_action () =
+  (* ops inside the action are separated by ';' and parsed greedily *)
+  let stmt =
+    parse_one
+      "create rule r2 when deleted from emp then delete from emp where 1 = 1; \
+       delete from dept where 2 = 2"
+  in
+  match stmt with
+  | Ast.Stmt_create_rule { Ast.action = Ast.Act_block [ Ast.Delete _; Ast.Delete _ ]; _ }
+    -> ()
+  | _ -> Alcotest.fail "two-op action"
+
+let test_rule_block_terminator () =
+  (* ';;' ends the rule's action block, so the following DML is a
+     separate statement *)
+  let stmts =
+    Parser.parse_script
+      "create rule r when inserted into t then delete from t;; insert into t \
+       values (1)"
+  in
+  match stmts with
+  | [ Ast.Stmt_create_rule _; Ast.Stmt_op (Ast.Insert _) ] -> ()
+  | _ -> Alcotest.failf "got %d statements" (List.length stmts)
+
+let test_rule_rollback_and_call () =
+  (match parse_one "create rule r when inserted into t then rollback" with
+  | Ast.Stmt_create_rule { Ast.action = Ast.Act_rollback; _ } -> ()
+  | _ -> Alcotest.fail "rollback action");
+  match parse_one "create rule r when inserted into t then call notify_admin" with
+  | Ast.Stmt_create_rule { Ast.action = Ast.Act_call "notify_admin"; _ } -> ()
+  | _ -> Alcotest.fail "call action"
+
+let test_priority_statement () =
+  match parse_one "create rule priority r1 before r2" with
+  | Ast.Stmt_priority ("r1", "r2") -> ()
+  | _ -> Alcotest.fail "priority"
+
+let test_create_table () =
+  let stmt =
+    parse_one
+      "create table emp (name string not null, emp_no int primary key, salary \
+       float default 0.0, dept_no int references dept(dept_no), check (salary \
+       >= 0))"
+  in
+  match stmt with
+  | Ast.Stmt_create_table ct ->
+    Alcotest.(check int) "columns" 4 (List.length ct.Ast.ct_columns);
+    Alcotest.(check int) "table constraints" 1 (List.length ct.Ast.ct_constraints)
+  | _ -> Alcotest.fail "create table"
+
+let test_create_table_fk_actions () =
+  let stmt =
+    parse_one
+      "create table emp (emp_no int, dept_no int, foreign key (dept_no) \
+       references dept (dept_no) on delete cascade)"
+  in
+  match stmt with
+  | Ast.Stmt_create_table
+      { Ast.ct_constraints = [ Ast.T_foreign_key { on_delete = `Cascade; _ } ]; _ }
+    -> ()
+  | _ -> Alcotest.fail "fk cascade"
+
+let test_misc_statements () =
+  (match parse_one "begin" with Ast.Stmt_begin -> () | _ -> Alcotest.fail "begin");
+  (match parse_one "commit" with Ast.Stmt_commit -> () | _ -> Alcotest.fail "commit");
+  (match parse_one "rollback" with
+  | Ast.Stmt_rollback -> ()
+  | _ -> Alcotest.fail "rollback");
+  (match parse_one "process rules" with
+  | Ast.Stmt_process_rules -> ()
+  | _ -> Alcotest.fail "process rules");
+  (match parse_one "drop rule r" with
+  | Ast.Stmt_drop_rule "r" -> ()
+  | _ -> Alcotest.fail "drop rule");
+  (match parse_one "deactivate rule r" with
+  | Ast.Stmt_deactivate "r" -> ()
+  | _ -> Alcotest.fail "deactivate");
+  match parse_one "show rules" with
+  | Ast.Stmt_show_rules -> ()
+  | _ -> Alcotest.fail "show rules"
+
+let test_parse_errors () =
+  let bad sql = expect_error (fun () -> Parser.parse_script sql) in
+  bad "select from";
+  bad "insert t values (1)";
+  bad "create rule when inserted into t then rollback";
+  bad "create rule r if x then rollback";
+  bad "update set x = 1";
+  bad "select * from t where";
+  bad "select * from t group 1";
+  bad "create table t ()";
+  bad "completely bogus"
+
+(* ---- the paper's examples parse verbatim ---- *)
+
+let paper_rules =
+  [
+    (* Example 3.1 *)
+    "create rule ex31 when deleted from dept then delete from emp where \
+     dept_no in (select dept_no from deleted dept)";
+    (* Example 3.2 *)
+    "create rule ex32 when updated emp.salary if (select sum(salary) from new \
+     updated emp.salary) > (select sum(salary) from old updated emp.salary) \
+     then update emp set salary = 0.95 * salary where dept_no = 2; update emp \
+     set salary = 0.85 * salary where dept_no = 3";
+    (* Example 3.3 *)
+    "create rule ex33 when inserted into emp or deleted from emp or updated \
+     emp.salary or updated emp.dept_no if exists (select * from emp e1 where \
+     salary > 2 * (select avg(salary) from emp e2 where e2.dept_no = \
+     e1.dept_no)) then delete from emp where emp_no = (select mgr_no from \
+     dept where dept_no = 5)";
+    (* Example 4.1 *)
+    "create rule ex41 when deleted from emp then delete from emp where \
+     dept_no in (select dept_no from dept where mgr_no in (select emp_no from \
+     deleted emp)); delete from dept where mgr_no in (select emp_no from \
+     deleted emp)";
+    (* Example 4.2 *)
+    "create rule ex42 when updated emp.salary if (select avg(salary) from new \
+     updated emp.salary) > 50000 then delete from emp where emp_no in (select \
+     emp_no from new updated emp.salary) and salary > 80000";
+  ]
+
+let test_paper_rules_parse () =
+  List.iter
+    (fun sql ->
+      match parse_one sql with
+      | Ast.Stmt_create_rule _ -> ()
+      | _ -> Alcotest.failf "did not parse as a rule: %s" sql)
+    paper_rules
+
+(* ---- round trips ---- *)
+
+let round_trip_statements =
+  paper_rules
+  @ [
+      "select * from emp";
+      "select distinct name from emp where salary > 100 order by name desc \
+       limit 3";
+      "select e.name, d.mgr_no from emp e, dept d where e.dept_no = d.dept_no";
+      "select dept_no, sum(salary) from emp group by dept_no having \
+       count(*) > 1";
+      "select name from emp where salary between 10 and 20 and name like 'J%'";
+      "select name from emp where dept_no in (1, 2) or dept_no is null";
+      "insert into emp values ('a', 1, 2.5, null)";
+      "insert into emp (name, emp_no) values ('b', 2)";
+      "insert into emp (select * from emp)";
+      "update emp set salary = salary * 1.1 where emp_no = 7";
+      "delete from emp where not (salary >= 0)";
+      "select case when salary > 10 then 'hi' else 'lo' end from emp";
+      "select count(*) from emp, dept";
+      "select * from (select name from emp) e2";
+      "select name from emp union select name from emp";
+      "select name from emp union all select name from emp except select \
+       name from emp intersect select name from emp order by name desc limit \
+       2";
+    ]
+
+let test_round_trip () =
+  List.iter
+    (fun sql ->
+      let ast1 = parse_one sql in
+      let printed =
+        match ast1 with
+        | Ast.Stmt_create_rule def -> Pretty.rule_def_str def
+        | Ast.Stmt_op op -> Pretty.op_str op
+        | _ -> Alcotest.fail "unexpected statement kind"
+      in
+      let ast2 = parse_one printed in
+      if ast1 <> ast2 then
+        Alcotest.failf "round trip changed AST:\n  %s\n  reprinted: %s" sql
+          printed)
+    round_trip_statements
+
+let suite =
+  [
+    Alcotest.test_case "expression precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "predicate forms" `Quick test_expr_predicates;
+    Alcotest.test_case "select clauses" `Quick test_select_clauses;
+    Alcotest.test_case "transition table references" `Quick
+      test_transition_table_references;
+    Alcotest.test_case "insert forms" `Quick test_insert_forms;
+    Alcotest.test_case "update and delete" `Quick test_update_delete;
+    Alcotest.test_case "rule definition" `Quick test_rule_definition;
+    Alcotest.test_case "multi-op rule action" `Quick test_rule_multi_op_action;
+    Alcotest.test_case "rule block terminator" `Quick test_rule_block_terminator;
+    Alcotest.test_case "rollback and call actions" `Quick
+      test_rule_rollback_and_call;
+    Alcotest.test_case "priority statement" `Quick test_priority_statement;
+    Alcotest.test_case "create table" `Quick test_create_table;
+    Alcotest.test_case "fk actions" `Quick test_create_table_fk_actions;
+    Alcotest.test_case "misc statements" `Quick test_misc_statements;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "paper rules parse verbatim" `Quick test_paper_rules_parse;
+    Alcotest.test_case "print/reparse round trip" `Quick test_round_trip;
+  ]

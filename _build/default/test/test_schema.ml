@@ -1,0 +1,107 @@
+(* Tests for schemas, coercion, tables and database states. *)
+
+open Core
+open Helpers
+
+let emp_schema () =
+  Schema.table "emp"
+    [
+      Schema.column "name" Schema.T_string;
+      Schema.column ~not_null:true "emp_no" Schema.T_int;
+      Schema.column "salary" Schema.T_float;
+      Schema.column "dept_no" Schema.T_int;
+    ]
+
+let test_schema_construction () =
+  let s = emp_schema () in
+  Alcotest.(check int) "arity" 4 (Schema.arity s);
+  Alcotest.(check (list string)) "names"
+    [ "name"; "emp_no"; "salary"; "dept_no" ]
+    (Schema.column_names s);
+  Alcotest.(check int) "index" 2 (Schema.column_index s "salary");
+  Alcotest.(check bool) "has" true (Schema.has_column s "dept_no");
+  Alcotest.(check bool) "has not" false (Schema.has_column s "nope");
+  expect_error (fun () -> Schema.column_index s "nope");
+  expect_error (fun () ->
+      Schema.table "t" [ Schema.column "a" Schema.T_int; Schema.column "a" Schema.T_int ]);
+  expect_error (fun () -> Schema.table "t" [])
+
+let test_coercion () =
+  let s = emp_schema () in
+  let row = Schema.coerce_row s [| vs "Jane"; vi 1; vi 50; vi 2 |] in
+  (* int literal coerced into float column *)
+  Alcotest.check value_testable "coerced" (vf 50.0) row.(2);
+  (* arity mismatch *)
+  expect_error (fun () -> Schema.coerce_row s [| vs "Jane"; vi 1 |]);
+  (* type mismatch *)
+  expect_error (fun () ->
+      Schema.coerce_row s [| vs "Jane"; vs "one"; vf 1.0; vi 2 |]);
+  (* not-null violation *)
+  expect_error (fun () -> Schema.coerce_row s [| vs "Jane"; vnull; vf 1.0; vi 2 |]);
+  (* null allowed elsewhere *)
+  let row = Schema.coerce_row s [| vnull; vi 1; vnull; vnull |] in
+  Alcotest.check value_testable "null ok" vnull row.(0)
+
+let test_table_storage () =
+  let tbl = Table.create (emp_schema ()) in
+  Alcotest.(check bool) "empty" true (Table.is_empty tbl);
+  let h1 = Handle.fresh "emp" and h2 = Handle.fresh "emp" in
+  let r1 = [| vs "a"; vi 1; vf 1.0; vi 1 |] in
+  let r2 = [| vs "b"; vi 2; vf 2.0; vi 1 |] in
+  let tbl = Table.insert tbl h1 r1 in
+  let tbl = Table.insert tbl h2 r2 in
+  Alcotest.(check int) "card" 2 (Table.cardinality tbl);
+  Alcotest.check row_testable "find" r1 (Table.get tbl h1);
+  (* persistence: deleting from a successor does not affect snapshot *)
+  let tbl' = Table.delete tbl h1 in
+  Alcotest.(check int) "card after delete" 1 (Table.cardinality tbl');
+  Alcotest.(check int) "snapshot intact" 2 (Table.cardinality tbl);
+  Alcotest.(check bool) "mem" false (Table.mem tbl' h1);
+  (* update *)
+  let r1' = [| vs "a2"; vi 1; vf 9.0; vi 1 |] in
+  let tbl'' = Table.update tbl h1 r1' in
+  Alcotest.check row_testable "updated" r1' (Table.get tbl'' h1);
+  Alcotest.check row_testable "snapshot value intact" r1 (Table.get tbl h1);
+  (* enumeration order is insertion order *)
+  Alcotest.check rows_testable "rows ordered" [ r1; r2 ] (Table.rows tbl)
+
+let test_duplicate_rows () =
+  (* the model is a multiset: equal rows under distinct handles *)
+  let tbl = Table.create (emp_schema ()) in
+  let row = [| vs "dup"; vi 1; vf 1.0; vi 1 |] in
+  let tbl = Table.insert tbl (Handle.fresh "emp") row in
+  let tbl = Table.insert tbl (Handle.fresh "emp") row in
+  Alcotest.(check int) "two copies" 2 (Table.cardinality tbl)
+
+let test_database () =
+  let db = Database.empty in
+  let db = Database.create_table db (emp_schema ()) in
+  expect_error (fun () -> Database.create_table db (emp_schema ()));
+  let db, h = Database.insert db "emp" [| vs "a"; vi 1; vi 10; vi 1 |] in
+  Alcotest.(check string) "handle table" "emp" (Handle.table h);
+  Alcotest.check value_testable "coerced on insert" (vf 10.0)
+    (Database.get_row db h).(2);
+  Alcotest.(check int) "total rows" 1 (Database.total_rows db);
+  let db2 = Database.delete db h in
+  Alcotest.(check (option row_testable)) "gone" None (Database.find_row db2 h);
+  Alcotest.(check bool) "old state intact" true
+    (Database.find_row db h <> None);
+  expect_error (fun () -> Database.table db "nope");
+  expect_error (fun () -> Database.drop_table db "nope");
+  let db3 = Database.drop_table db "emp" in
+  Alcotest.(check (list string)) "no tables" [] (Database.table_names db3)
+
+let test_handles_not_reused () =
+  let h1 = Handle.fresh "t" and h2 = Handle.fresh "t" in
+  Alcotest.(check bool) "distinct" false (Handle.equal h1 h2);
+  Alcotest.(check bool) "ordered" true (Handle.compare h1 h2 < 0)
+
+let suite =
+  [
+    Alcotest.test_case "schema construction" `Quick test_schema_construction;
+    Alcotest.test_case "coercion" `Quick test_coercion;
+    Alcotest.test_case "table storage is persistent" `Quick test_table_storage;
+    Alcotest.test_case "duplicate rows allowed" `Quick test_duplicate_rows;
+    Alcotest.test_case "database states" `Quick test_database;
+    Alcotest.test_case "handles are not reused" `Quick test_handles_not_reused;
+  ]

@@ -1,0 +1,230 @@
+(* Edge cases across the SQL pipeline and failure injection into rule
+   processing. *)
+
+open Core
+open Helpers
+
+let test_keyword_case_insensitive () =
+  let s = system "CREATE TABLE t (a INT)" in
+  run s "InSeRt InTo t VaLuEs (1)";
+  Alcotest.(check int) "mixed case works" 1
+    (int_cell s "SELECT COUNT(*) FROM t")
+
+let test_identifier_case_sensitive () =
+  let s = system "create table casing (a int)" in
+  expect_error (fun () -> System.query s "select a from CASING")
+
+let test_strings_with_quotes () =
+  let s = system "create table t (v string)" in
+  run s "insert into t values ('it''s'), ('a''b''c')";
+  Alcotest.(check int) "quoted match" 1
+    (int_cell s "select count(*) from t where v = 'it''s'");
+  (* round trip through rendering *)
+  match System.exec_one s "select v from t where v = 'a''b''c'" with
+  | System.Relation rel ->
+    Alcotest.check rows_testable "stored exactly" [ [| vs "a'b'c" |] ]
+      rel.Eval.rows
+  | _ -> Alcotest.fail "relation"
+
+let test_case_expression_semantics () =
+  let s = system "create table t (a int)" in
+  run s "insert into t values (1), (2), (null)";
+  (* CASE without ELSE yields NULL *)
+  Alcotest.(check int) "case null branch" 1
+    (int_cell s
+       "select count(*) from t where case when a = 1 then true end is null \
+        and a = 2");
+  (* nested case *)
+  Alcotest.(check int) "nested case" 1
+    (int_cell s
+       "select count(*) from t where case when a is null then 'n' else case \
+        when a = 1 then 'one' else 'other' end end = 'one'")
+
+let test_runtime_type_errors_propagate () =
+  let s = system "create table t (a int, v string)" in
+  run s "insert into t values (1, 'x')";
+  expect_error (fun () -> System.query s "select a + v from t");
+  expect_error (fun () -> System.query s "select a / 0 from t");
+  expect_error (fun () -> System.query s "select a from t where v > 3")
+
+let test_insert_arity_and_types_via_sql () =
+  let s = system "create table t (a int, v string)" in
+  expect_error (fun () -> System.exec s "insert into t values (1)");
+  expect_error (fun () -> System.exec s "insert into t values (1, 2)");
+  expect_error (fun () -> System.exec s "insert into t values ('x', 'y')");
+  Alcotest.(check int) "nothing stored" 0 (int_cell s "select count(*) from t")
+
+let test_numeric_coercion_round_trip () =
+  let s = system "create table t (f float, i int)" in
+  run s "insert into t values (1, 2)";
+  (* int literal coerced into float column *)
+  Alcotest.check value_testable "coerced" (vf 1.0) (cell s "select f from t");
+  (* mixed comparison *)
+  Alcotest.(check int) "int = float" 1
+    (int_cell s "select count(*) from t where f = 1 and i = 2.0")
+
+let test_boolean_columns () =
+  let s = system "create table t (flag bool, n int)" in
+  run s "insert into t values (true, 1), (false, 2), (null, 3)";
+  Alcotest.(check int) "where flag" 1
+    (int_cell s "select count(*) from t where flag = true");
+  Alcotest.(check int) "where flag = false" 1
+    (int_cell s "select count(*) from t where flag = false");
+  Alcotest.(check int) "null flag unknown" 1
+    (int_cell s "select count(*) from t where flag is null")
+
+let test_deep_subquery_nesting () =
+  let s = system "create table t (a int)" in
+  run s "insert into t values (1), (2), (3), (4)";
+  Alcotest.(check int) "four levels" 1
+    (int_cell s
+       "select count(*) from t where a = (select max(a) from t where a in \
+        (select a from t where a < (select max(a) from t)))")
+
+let test_group_by_expression () =
+  let s = system "create table t (a int)" in
+  run s "insert into t values (1), (2), (3), (4), (5)";
+  let _, rows =
+    System.query s
+      "select a % 2 as parity, count(*) as n from t group by a % 2 order by \
+       parity"
+  in
+  Alcotest.(check rows_testable) "parity groups"
+    [ [| vi 0; vi 2 |]; [| vi 1; vi 3 |] ]
+    rows
+
+let test_having_without_group_by () =
+  let s = system "create table t (a int)" in
+  run s "insert into t values (1), (2)";
+  Alcotest.(check int) "global group kept" 1
+    (List.length (rows s "select sum(a) from t having count(*) = 2"));
+  Alcotest.(check int) "global group filtered" 0
+    (List.length (rows s "select sum(a) from t having count(*) > 5"))
+
+let test_order_by_expression_and_big_limit () =
+  let s = system "create table t (a int)" in
+  run s "insert into t values (1), (3), (2)";
+  Alcotest.(check (list string)) "order by -a"
+    [ "3"; "2"; "1" ]
+    (List.map
+       (fun r -> Value.to_display r.(0))
+       (rows s "select a from t order by 0 - a limit 100"))
+
+let test_aggregate_empty_group_by () =
+  let s = system "create table t (a int, g int)" in
+  (* group by over an empty table yields no groups *)
+  Alcotest.(check int) "no groups" 0
+    (List.length (rows s "select g, count(*) from t group by g"));
+  (* but a global aggregate yields one row *)
+  Alcotest.(check int) "one global row" 1
+    (List.length (rows s "select count(*) from t"))
+
+let test_like_edge_patterns () =
+  let s = system "create table t (v string)" in
+  run s "insert into t values ('100%'), ('abc'), ('')";
+  (* '%%' is two wildcards, not an escape: matches everything *)
+  Alcotest.(check int) "double percent matches all" 3
+    (int_cell s "select count(*) from t where v like '%%'");
+  Alcotest.(check int) "percent then literal" 1
+    (int_cell s "select count(*) from t where v like '%0^%' or v like '100_'");
+  Alcotest.(check int) "empty matches empty" 1
+    (int_cell s "select count(*) from t where v like ''")
+
+(* ---- failure injection into rule processing ---- *)
+
+let test_error_in_rule_action_aborts_txn () =
+  let s = system "create table t (a int);\ncreate table log (a int)" in
+  run s "insert into t values (1)";
+  (* the rule's action divides by zero at run time *)
+  run s
+    "create rule boom when inserted into t then insert into log (select a / \
+     (a - a) from inserted t)";
+  (match System.exec s "insert into t values (2)" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Errors.Error _ -> ());
+  Alcotest.(check int) "block rolled back" 1
+    (int_cell s "select count(*) from t");
+  Alcotest.(check bool) "engine reusable" false
+    (Engine.in_transaction (System.engine s));
+  (* dropping the bad rule restores service *)
+  run s "drop rule boom";
+  run s "insert into t values (3)";
+  Alcotest.(check int) "working again" 2 (int_cell s "select count(*) from t")
+
+let test_error_in_rule_condition_aborts_txn () =
+  let s = system "create table t (a int)" in
+  run s
+    "create rule badcond when inserted into t if (select a from inserted t) > \
+     0 then rollback";
+  run s "insert into t values (1)";
+  (* single row: scalar subquery fine; two rows: scalar subquery error *)
+  (match System.exec s "insert into t values (2), (3)" with
+  | _ -> Alcotest.fail "expected scalar subquery error"
+  | exception Errors.Error _ -> ());
+  Alcotest.(check int) "rolled back" 0 (int_cell s "select count(*) from t")
+
+let test_exception_in_procedure_aborts_txn () =
+  let s = system "create table t (a int)" in
+  System.register_procedure s "explode" (fun _ -> failwith "procedure bug");
+  run s "create rule r when inserted into t then call explode";
+  (match System.exec s "insert into t values (1)" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "rolled back" 0 (int_cell s "select count(*) from t");
+  Alcotest.(check bool) "no dangling transaction" false
+    (Engine.in_transaction (System.engine s))
+
+let test_rollback_statement_without_rules () =
+  let s = system "create table t (a int)" in
+  run s "begin";
+  run s "insert into t values (1)";
+  run s "insert into t values (2)";
+  run s "rollback";
+  Alcotest.(check int) "both undone" 0 (int_cell s "select count(*) from t");
+  (* a new transaction works normally *)
+  run s "insert into t values (3)";
+  Alcotest.(check int) "fresh txn fine" 1 (int_cell s "select count(*) from t")
+
+let test_empty_transaction_commits () =
+  let s = system "create table t (a int)" in
+  run s "create rule r when inserted into t then rollback";
+  run s "begin";
+  (match System.exec s "commit" with
+  | [ System.Outcome Engine.Committed ] -> ()
+  | _ -> Alcotest.fail "empty txn should commit");
+  Alcotest.(check bool) "closed" false (Engine.in_transaction (System.engine s))
+
+let suite =
+  [
+    Alcotest.test_case "keywords case-insensitive" `Quick
+      test_keyword_case_insensitive;
+    Alcotest.test_case "identifiers case-sensitive" `Quick
+      test_identifier_case_sensitive;
+    Alcotest.test_case "strings with quotes" `Quick test_strings_with_quotes;
+    Alcotest.test_case "case expressions" `Quick test_case_expression_semantics;
+    Alcotest.test_case "runtime type errors" `Quick
+      test_runtime_type_errors_propagate;
+    Alcotest.test_case "insert arity and types" `Quick
+      test_insert_arity_and_types_via_sql;
+    Alcotest.test_case "numeric coercion" `Quick test_numeric_coercion_round_trip;
+    Alcotest.test_case "boolean columns" `Quick test_boolean_columns;
+    Alcotest.test_case "deep subquery nesting" `Quick test_deep_subquery_nesting;
+    Alcotest.test_case "group by expression" `Quick test_group_by_expression;
+    Alcotest.test_case "having without group by" `Quick
+      test_having_without_group_by;
+    Alcotest.test_case "order by expression / big limit" `Quick
+      test_order_by_expression_and_big_limit;
+    Alcotest.test_case "aggregates over empty tables" `Quick
+      test_aggregate_empty_group_by;
+    Alcotest.test_case "like edge patterns" `Quick test_like_edge_patterns;
+    Alcotest.test_case "error in rule action aborts" `Quick
+      test_error_in_rule_action_aborts_txn;
+    Alcotest.test_case "error in rule condition aborts" `Quick
+      test_error_in_rule_condition_aborts_txn;
+    Alcotest.test_case "exception in procedure aborts" `Quick
+      test_exception_in_procedure_aborts_txn;
+    Alcotest.test_case "rollback statement" `Quick
+      test_rollback_statement_without_rules;
+    Alcotest.test_case "empty transaction commits" `Quick
+      test_empty_transaction_commits;
+  ]
