@@ -17,6 +17,7 @@
      E9 (ablation)           uncorrelated-subquery caching
      E10 (Section 4.3)       per-rule pruning of transition info
      E11 (ablation)          hash equi-joins inside rule actions
+     E12 (ablation)           secondary hash indexes on point queries
 
    Run with:  dune exec bench/main.exe            (all experiments)
               dune exec bench/main.exe -- E2 E3   (a subset)            *)
@@ -643,11 +644,83 @@ let e11 () =
   print_table [ "employees"; "hash join"; "nested loop"; "speedup" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* E12: ablation — secondary hash indexes on selective point queries.
+   The access-path planner answers sargable equality predicates with an
+   index probe instead of a sequential scan; a batch of point queries
+   over a table of n rows is O(batch * n) under scans and O(batch)
+   under probes.                                                        *)
+
+let point_queries = 100
+
+let e12_ops n =
+  parse_ops
+    (String.concat ";\n"
+       (List.init point_queries (fun i ->
+            Printf.sprintf "select v from big where k = %d" (i * 37 mod n))))
+
+let big_system ~indexed n =
+  let s = System.create () in
+  ignore_exec s "create table big (k int, v int)";
+  if indexed then ignore_exec s "create index big_k on big (k)";
+  ignore
+    (Engine.execute_block (System.engine s)
+       [ insert_op "big" (List.init n (fun i -> [ vi i; vi (i * 3) ])) ]);
+  s
+
+let e12_args = [ 256; 1024; 4096 ]
+
+let e12_test_of name indexed =
+  Test.make_indexed_with_resource ~name ~fmt:"%s:n=%d" ~args:e12_args
+    Test.multiple
+    ~allocate:(fun n -> big_system ~indexed n)
+    ~free:(fun _ -> ())
+    (fun n ->
+      let ops = e12_ops n in
+      Staged.stage (fun s ->
+          let eng = System.engine s in
+          Engine.begin_txn eng;
+          ignore (Engine.submit_ops eng ops);
+          ignore (Engine.commit eng)))
+
+let e12 () =
+  print_header "E12" "ablation: secondary hash indexes on point queries"
+    "100 equality point queries per transaction: a scan touches all n rows \
+     per query, a probe touches the matches; the gap grows linearly with \
+     table size";
+  let probe = run_test (e12_test_of "indexed" true) in
+  let scan = run_test (e12_test_of "scan" false) in
+  let access_counts indexed n =
+    let s = big_system ~indexed n in
+    let eng = System.engine s in
+    Engine.begin_txn eng;
+    ignore (Engine.submit_ops eng (e12_ops n));
+    ignore (Engine.commit eng);
+    let st = Engine.stats eng in
+    (st.Engine.seq_scans, st.Engine.index_probes)
+  in
+  let rows =
+    List.map2
+      (fun (name, p) (_, sc) ->
+        let n = int_of_string (List.nth (String.split_on_char '=' name) 1) in
+        let _, probes = access_counts true n in
+        let scans, _ = access_counts false n in
+        [
+          string_of_int n; pretty_ns p; pretty_ns sc; ratio sc p;
+          string_of_int probes; string_of_int scans;
+        ])
+      probe scan
+  in
+  print_table
+    [ "rows"; "indexed"; "scan"; "speedup"; "probes"; "scans" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12);
   ]
 
 let () =

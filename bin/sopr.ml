@@ -33,9 +33,12 @@ let print_stats system =
      transitions:           %d\n\
      rule firings:          %d\n\
      conditions evaluated:  %d\n\
-     rollbacks:             %d\n"
+     rollbacks:             %d\n\
+     seq scans:             %d\n\
+     index probes:          %d\n"
     st.Engine.transactions st.Engine.transitions st.Engine.rule_firings
-    st.Engine.conditions_evaluated st.Engine.rollbacks
+    st.Engine.conditions_evaluated st.Engine.rollbacks st.Engine.seq_scans
+    st.Engine.index_probes
 
 let print_analysis system =
   Format.printf "%a@." Analysis.pp_report (System.analyze system)

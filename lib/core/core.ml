@@ -16,6 +16,7 @@ module Handle = Relational.Handle
 module Row = Relational.Row
 module Table = Relational.Table
 module Database = Relational.Database
+module Index = Relational.Index
 module Errors = Relational.Errors
 module Ast = Sqlf.Ast
 module Parser = Sqlf.Parser
@@ -139,6 +140,13 @@ module System = struct
         (Constraints.name_of
            (Constraints.Assertion { assertion_name = name; predicate = Ast.Lit Value.Null }));
       Msg (Printf.sprintf "assertion %s dropped" name)
+    | Ast.Stmt_create_index { ix_name; ix_table; ix_column } ->
+      Engine.create_index eng ~ix_name ~table:ix_table ~column:ix_column;
+      Msg
+        (Printf.sprintf "index %s created on %s (%s)" ix_name ix_table ix_column)
+    | Ast.Stmt_drop_index name ->
+      Engine.drop_index eng name;
+      Msg (Printf.sprintf "index %s dropped" name)
     | Ast.Stmt_op (Ast.Select_op s) when not (Engine.in_transaction eng) ->
       (* a bare query outside a transaction is pure retrieval *)
       Relation (Engine.query eng s)

@@ -15,6 +15,7 @@ module Handle = Relational.Handle
 module Row = Relational.Row
 module Table = Relational.Table
 module Database = Relational.Database
+module Index = Relational.Index
 module Errors = Relational.Errors
 module Ast = Sqlf.Ast
 module Parser = Sqlf.Parser

@@ -66,6 +66,44 @@ let get_row db handle =
     Errors.semantic "tuple %s not found in this database state"
       (Fmt.str "%a" Handle.pp handle)
 
+(* {2 Secondary indexes}
+
+   Index names are unique across the whole database (like SQL index
+   namespaces), so DROP INDEX needs only the name. *)
+
+let find_index_owner db ix_name =
+  Str_map.fold
+    (fun _ tbl found ->
+      match found with
+      | Some _ -> found
+      | None -> if Table.has_index tbl ix_name then Some tbl else None)
+    db.tables None
+
+let create_index db ~ix_name ~table:tbl_name ~column =
+  (match find_index_owner db ix_name with
+  | Some owner ->
+    Errors.semantic "index %S already exists (on table %S)" ix_name
+      (Table.name owner)
+  | None -> ());
+  let tbl = table db tbl_name in
+  replace_table db (Table.create_index tbl ~ix_name ~column)
+
+let drop_index db ix_name =
+  match find_index_owner db ix_name with
+  | None -> Errors.semantic "unknown index %S" ix_name
+  | Some tbl -> replace_table db (Table.drop_index tbl ix_name)
+
+let indexes db =
+  Str_map.fold
+    (fun name tbl acc ->
+      acc @ List.map (fun ix -> (name, ix)) (Table.index_list tbl))
+    db.tables []
+
+let probe db ~table:tbl_name ~column values =
+  match Str_map.find_opt tbl_name db.tables with
+  | None -> None
+  | Some tbl -> Table.probe tbl ~column values
+
 let total_rows db =
   Str_map.fold (fun _ tbl acc -> acc + Table.cardinality tbl) db.tables 0
 

@@ -36,5 +36,28 @@ val find_row : t -> Handle.t -> Row.t option
 val get_row : t -> Handle.t -> Row.t
 (** Like {!find_row} but raises when absent. *)
 
+(** {2 Secondary indexes}
+
+    Index names are unique across the whole database, so [drop_index]
+    needs only the name.  Indexes are part of the persistent table
+    values: states retained for transition tables and rollback carry
+    their own consistent indexes. *)
+
+val create_index : t -> ix_name:string -> table:string -> column:string -> t
+(** Raises [Semantic_error] if the name is taken anywhere in the
+    database, [Unknown_table]/[Unknown_column] for bad targets. *)
+
+val drop_index : t -> string -> t
+(** Raises [Semantic_error] if no table has an index of that name. *)
+
+val indexes : t -> (string * Index.t) list
+(** All (table, index) pairs, in table-name order. *)
+
+val probe : t -> table:string -> column:string -> Value.t list
+  -> (Handle.t * Row.t) list option
+(** Probe any index over [column] of [table]: [None] when the table or
+    a usable index is absent (or a value is type-incompatible), else
+    the matching rows in handle (= insertion) order. *)
+
 val total_rows : t -> int
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+(* A secondary hash index: an equality access path from the values of
+   one column to the set of handles of rows holding that value.
+
+   The index is a persistent map, so it lives inside the (persistent)
+   table value it indexes: snapshotting a table — and hence a database
+   state — snapshots its indexes for free, which is what keeps index
+   probes consistent against the pre-transition states the rule engine
+   retains for transition tables and rollback.
+
+   NULL is never indexed: SQL equality against NULL is never TRUE, so a
+   probe for NULL correctly finds nothing, and rows whose indexed
+   column is NULL are reachable only by scan (where the predicate
+   evaluates to UNKNOWN and excludes them anyway).
+
+   Keys are compared with [Value.compare_total], whose numeric
+   cross-kind behaviour (Int 1 = Float 1.0) agrees with SQL equality on
+   comparable values — the only values a probe is allowed to use (see
+   [compatible]). *)
+
+module Value_map = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare_total
+end)
+
+type t = {
+  ix_name : string;
+  ix_column : string;
+  ix_pos : int; (* position of the column in the table schema *)
+  entries : Handle.Set.t Value_map.t;
+}
+
+let create ~name ~column ~pos =
+  { ix_name = name; ix_column = column; ix_pos = pos; entries = Value_map.empty }
+
+let name t = t.ix_name
+let column t = t.ix_column
+let pos t = t.ix_pos
+
+let add t v h =
+  if Value.is_null v then t
+  else
+    let set =
+      Option.value (Value_map.find_opt v t.entries) ~default:Handle.Set.empty
+    in
+    { t with entries = Value_map.add v (Handle.Set.add h set) t.entries }
+
+let remove t v h =
+  if Value.is_null v then t
+  else
+    match Value_map.find_opt v t.entries with
+    | None -> t
+    | Some set ->
+      let set = Handle.Set.remove h set in
+      let entries =
+        if Handle.Set.is_empty set then Value_map.remove v t.entries
+        else Value_map.add v set t.entries
+      in
+      { t with entries }
+
+let probe t v =
+  if Value.is_null v then Handle.Set.empty
+  else Option.value (Value_map.find_opt v t.entries) ~default:Handle.Set.empty
+
+let cardinality t = Value_map.cardinal t.entries
+
+(* May [v] be used as a probe key against a column of type [ty]?
+   Comparable kinds only: probing silently returns the empty set for
+   absent keys, so a value that would make the scan path raise a type
+   error (e.g. a string against an int column) must NOT be probed — the
+   caller falls back to the scan, which reports the error faithfully.
+   NULL is always an acceptable key (it finds nothing, as SQL
+   requires). *)
+let compatible ty v =
+  match v, ty with
+  | Value.Null, _ -> true
+  | (Value.Int _ | Value.Float _), (Schema.T_int | Schema.T_float) -> true
+  | Value.Str _, Schema.T_string -> true
+  | Value.Bool _, Schema.T_bool -> true
+  | (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _), _ -> false
+
+let pp ppf t =
+  Fmt.pf ppf "index %s on (%s) [%d keys]" t.ix_name t.ix_column
+    (cardinality t)

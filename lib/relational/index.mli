@@ -1,0 +1,43 @@
+(** A secondary hash index: an equality access path from the values of
+    one column to the set of handles of rows holding that value.
+
+    The representation is persistent and lives inside the table value
+    it indexes, so snapshotting a table (or a whole database state)
+    snapshots its indexes too — probes against retained pre-transition
+    states see exactly the rows of those states.
+
+    NULL is never indexed: SQL equality against NULL is never TRUE, so
+    probing for NULL finds nothing and rows with a NULL key are only
+    reachable by scan. *)
+
+type t
+
+val create : name:string -> column:string -> pos:int -> t
+(** An empty index named [name] over the column at schema position
+    [pos]. *)
+
+val name : t -> string
+val column : t -> string
+val pos : t -> int
+
+val add : t -> Value.t -> Handle.t -> t
+(** Register a row's column value.  Adding NULL is a no-op. *)
+
+val remove : t -> Value.t -> Handle.t -> t
+(** Unregister a row's column value.  Removing NULL or an absent
+    binding is a no-op. *)
+
+val probe : t -> Value.t -> Handle.Set.t
+(** The handles of rows whose indexed column equals the given value;
+    empty for NULL. *)
+
+val cardinality : t -> int
+(** Number of distinct (non-null) keys. *)
+
+val compatible : Schema.col_type -> Value.t -> bool
+(** May a value be used as a probe key against a column of this type?
+    False for cross-kind pairs (e.g. a string against an int column)
+    whose scan-path comparison would raise a type error — the caller
+    must fall back to the scan so the error is reported faithfully. *)
+
+val pp : Format.formatter -> t -> unit

@@ -2,24 +2,44 @@
    handle.  Duplicate rows may appear (each under its own handle).  The
    representation is persistent, so snapshotting a table (and hence a
    whole database state) is O(1) — this is what makes the paper's
-   pre-transition states and rollback cheap to support faithfully. *)
+   pre-transition states and rollback cheap to support faithfully.
+
+   Secondary indexes live inside the table value, so a snapshot carries
+   its indexes with it: probing a retained pre-transition state sees
+   exactly the rows of that state, with no separate versioning. *)
 
 module Int_map = Map.Make (Int)
+module Str_map = Map.Make (String)
 
-type t = { schema : Schema.table; rows : (Handle.t * Row.t) Int_map.t }
+type t = {
+  schema : Schema.table;
+  rows : (Handle.t * Row.t) Int_map.t;
+  indexes : Index.t Str_map.t; (* keyed by index name *)
+}
 
-let create schema = { schema; rows = Int_map.empty }
+let create schema = { schema; rows = Int_map.empty; indexes = Str_map.empty }
 let schema t = t.schema
 let name t = t.schema.Schema.table_name
 let cardinality t = Int_map.cardinal t.rows
 let is_empty t = Int_map.is_empty t.rows
+
+(* Index maintenance: every row mutation keeps every index in sync. *)
+let index_add t handle row =
+  Str_map.map (fun ix -> Index.add ix row.(Index.pos ix) handle) t.indexes
+
+let index_remove t handle row =
+  Str_map.map (fun ix -> Index.remove ix row.(Index.pos ix) handle) t.indexes
 
 (* Insert a row under a fresh handle created by the caller.  The row
    must already be validated/coerced against the schema. *)
 let insert t handle row =
   assert (String.equal (Handle.table handle) (name t));
   assert (not (Int_map.mem (Handle.id handle) t.rows));
-  { t with rows = Int_map.add (Handle.id handle) (handle, row) t.rows }
+  {
+    t with
+    rows = Int_map.add (Handle.id handle) (handle, row) t.rows;
+    indexes = index_add t handle row;
+  }
 
 let mem t handle = Int_map.mem (Handle.id handle) t.rows
 
@@ -33,11 +53,26 @@ let get t handle =
     Errors.semantic "tuple %s not present in table %S" (Fmt.str "%a" Handle.pp handle)
       (name t)
 
-let delete t handle = { t with rows = Int_map.remove (Handle.id handle) t.rows }
+let delete t handle =
+  match Int_map.find_opt (Handle.id handle) t.rows with
+  | None -> t
+  | Some (_, old_row) ->
+    {
+      t with
+      rows = Int_map.remove (Handle.id handle) t.rows;
+      indexes = index_remove t handle old_row;
+    }
 
 let update t handle row =
   assert (Int_map.mem (Handle.id handle) t.rows);
-  { t with rows = Int_map.add (Handle.id handle) (handle, row) t.rows }
+  let _, old_row = Int_map.find (Handle.id handle) t.rows in
+  let indexes = index_remove t handle old_row in
+  let t = { t with indexes } in
+  {
+    t with
+    rows = Int_map.add (Handle.id handle) (handle, row) t.rows;
+    indexes = index_add t handle row;
+  }
 
 (* Enumeration is in handle order, i.e. insertion order, which keeps
    scans and query results deterministic. *)
@@ -47,6 +82,57 @@ let fold f t acc =
 let iter f t = Int_map.iter (fun _ (h, row) -> f h row) t.rows
 let to_list t = List.rev (fold (fun h row acc -> (h, row) :: acc) t [])
 let rows t = List.rev (fold (fun _ row acc -> row :: acc) t [])
+
+(* {2 Index management} *)
+
+let has_index t name = Str_map.mem name t.indexes
+let index_list t = List.map snd (Str_map.bindings t.indexes)
+
+let index_on_column t column =
+  Str_map.fold
+    (fun _ ix found ->
+      match found with
+      | Some _ -> found
+      | None -> if String.equal (Index.column ix) column then Some ix else None)
+    t.indexes None
+
+let create_index t ~ix_name ~column =
+  if Str_map.mem ix_name t.indexes then
+    Errors.semantic "index %S already exists" ix_name;
+  let pos = Schema.column_index t.schema column in
+  let ix = Index.create ~name:ix_name ~column ~pos in
+  let ix = fold (fun h row ix -> Index.add ix row.(pos) h) t ix in
+  { t with indexes = Str_map.add ix_name ix t.indexes }
+
+let drop_index t ix_name =
+  if not (Str_map.mem ix_name t.indexes) then
+    Errors.semantic "unknown index %S" ix_name;
+  { t with indexes = Str_map.remove ix_name t.indexes }
+
+(* Probe any index over [column] for rows matching one of [values].
+   Returns [None] when no such index exists, or when some probe value
+   is type-incompatible with the column (the scan path must report that
+   error faithfully).  NULL probe values match nothing, as SQL
+   requires.  Results are in handle (= insertion) order, so a probe is
+   an order-preserving subsequence of the scan. *)
+let probe t ~column values =
+  match index_on_column t column with
+  | None -> None
+  | Some ix ->
+    let ty = t.schema.Schema.columns.(Index.pos ix).Schema.col_type in
+    if not (List.for_all (Index.compatible ty) values) then None
+    else
+      let handles =
+        List.fold_left
+          (fun acc v -> Handle.Set.union acc (Index.probe ix v))
+          Handle.Set.empty values
+      in
+      Some
+        (List.filter_map
+           (fun h ->
+             Option.map (fun row -> (h, row))
+               (Option.map snd (Int_map.find_opt (Handle.id h) t.rows)))
+           (Handle.Set.elements handles))
 
 let pp ppf t =
   Fmt.pf ppf "@[<v 2>%a [%d rows]@,%a@]" Schema.pp t.schema (cardinality t)

@@ -6,7 +6,12 @@
     and hence a whole database state — is O(1), which is what makes the
     paper's pre-transition states and rollback cheap to support
     faithfully.  Duplicate rows may appear, each under its own
-    handle. *)
+    handle.
+
+    Secondary indexes live inside the table value and are maintained
+    incrementally by [insert]/[delete]/[update], so every snapshot
+    carries consistent indexes: probing a retained pre-transition state
+    sees exactly the rows of that state. *)
 
 type t
 
@@ -36,4 +41,32 @@ val fold : (Handle.t -> Row.t -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (Handle.t -> Row.t -> unit) -> t -> unit
 val to_list : t -> (Handle.t * Row.t) list
 val rows : t -> Row.t list
+
+(** {2 Secondary indexes} *)
+
+val create_index : t -> ix_name:string -> column:string -> t
+(** Build a hash index over an existing column, indexing all current
+    rows.  Raises [Semantic_error] if an index of that name already
+    exists on this table, or [Unknown_column] for a bad column. *)
+
+val drop_index : t -> string -> t
+(** Raises [Semantic_error] if this table has no index of that name. *)
+
+val has_index : t -> string -> bool
+
+val index_list : t -> Index.t list
+(** All indexes on this table, in name order. *)
+
+val index_on_column : t -> string -> Index.t option
+(** Any index whose key is the given column. *)
+
+val probe : t -> column:string -> Value.t list -> (Handle.t * Row.t) list option
+(** [probe t ~column values] returns the rows whose [column] equals one
+    of [values], using an index over that column — or [None] when no
+    such index exists or some value is type-incompatible with the
+    column (so the caller falls back to a scan and any type error
+    surfaces there).  NULL values match nothing.  Results are in handle
+    (= insertion) order: a probe result is an order-preserving
+    subsequence of the scan. *)
+
 val pp : Format.formatter -> t -> unit

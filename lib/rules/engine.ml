@@ -53,6 +53,8 @@ type stats = {
   mutable rule_firings : int; (* actions executed *)
   mutable conditions_evaluated : int;
   mutable rollbacks : int;
+  mutable seq_scans : int; (* base-table accesses answered by scan *)
+  mutable index_probes : int; (* base-table accesses answered by index probe *)
 }
 
 (* Execution trace: what happened during rule processing, for the
@@ -108,6 +110,8 @@ let create ?(config = default_config) db =
         rule_firings = 0;
         conditions_evaluated = 0;
         rollbacks = 0;
+        seq_scans = 0;
+        index_probes = 0;
       };
     tracing = false;
     trace = [];
@@ -115,6 +119,29 @@ let create ?(config = default_config) db =
 
 let database t = t.db
 let stats t = t.stats
+
+(* Access-path hooks for the evaluator: column metadata and index
+   probes are served from the same database state the accompanying
+   resolver reads (the snapshot at the start of the operation or
+   condition evaluation), and every scan-vs-probe decision is counted
+   in the engine statistics. *)
+let access_for t db : Eval.access =
+  {
+    Eval.acc_cols =
+      (fun ~table ->
+        if Database.has_table db table then
+          Some
+            (Array.map
+               (fun c -> c.Schema.col_name)
+               (Database.schema db table).Schema.columns)
+        else None);
+    acc_probe =
+      (fun ~table ~column values -> Database.probe db ~table ~column values);
+    acc_note =
+      (fun ~table:_ -> function
+        | `Seq_scan -> t.stats.seq_scans <- t.stats.seq_scans + 1
+        | `Index_probe -> t.stats.index_probes <- t.stats.index_probes + 1);
+  }
 let in_transaction t = Option.is_some t.txn_start
 let set_tracing t on = t.tracing <- on
 let trace t = List.rev t.trace
@@ -213,9 +240,10 @@ let run_ops t ~resolver_of (ops : Ast.op list) =
   List.fold_left
     (fun (eff, results) op ->
       let resolve = resolver_of t.db in
+      let access = access_for t t.db in
       let r =
         Dml.exec_op ~track_selects:t.config.track_selects
-          ~optimize:t.config.optimize resolve t.db op
+          ~optimize:t.config.optimize ~access resolve t.db op
       in
       t.db <- r.Dml.db;
       let eff = Effect.compose eff (Effect.of_affected r.Dml.affected) in
@@ -326,7 +354,7 @@ let process_rules_exn t =
           let cache =
             if t.config.optimize then Some (Eval.make_cache ()) else None
           in
-          Eval.eval_predicate ?cache resolve [] cond
+          Eval.eval_predicate ?cache ~access:(access_for t t.db) resolve [] cond
       in
       record t (Ev_considered { rule = rule.Rule.name; condition_held = cond_holds });
       Log.debug (fun m ->
@@ -429,7 +457,8 @@ let execute_block t (ops : Ast.op list) =
     raise e
 
 (* Evaluate a query outside any rule context. *)
-let query t (s : Ast.select) = Eval.eval_select (external_resolver t.db) s
+let query t (s : Ast.select) =
+  Eval.eval_select ~access:(access_for t t.db) (external_resolver t.db) s
 
 (* DDL is not part of the transition model: it applies outside
    transactions. *)
@@ -461,3 +490,19 @@ let drop_table t name =
           r.Rule.name)
     t.rules;
   t.db <- Database.drop_table t.db name
+
+(* Index DDL is likewise rejected inside transactions: the retained
+   pre-transition states (transition tables, rollback) each carry the
+   index set current when they were snapshotted, and changing indexes
+   mid-transaction would make probe decisions differ between states. *)
+let create_index t ~ix_name ~table ~column =
+  if in_transaction t then
+    Errors.raise_error
+      (Errors.Transaction_error "DDL inside a transaction is not supported");
+  t.db <- Database.create_index t.db ~ix_name ~table ~column
+
+let drop_index t ix_name =
+  if in_transaction t then
+    Errors.raise_error
+      (Errors.Transaction_error "DDL inside a transaction is not supported");
+  t.db <- Database.drop_index t.db ix_name

@@ -51,6 +51,10 @@ type stats = {
   mutable rule_firings : int;  (** actions executed *)
   mutable conditions_evaluated : int;
   mutable rollbacks : int;
+  mutable seq_scans : int;
+      (** base-table accesses answered by a full scan *)
+  mutable index_probes : int;
+      (** base-table accesses answered by an index probe *)
 }
 
 (** One step of an execution trace (Section 6 tooling: understanding
@@ -132,3 +136,11 @@ val create_table : t -> Schema.table -> unit
 
 val drop_table : t -> string -> unit
 (** Rejected while rules are triggered by the table. *)
+
+val create_index : t -> ix_name:string -> table:string -> column:string -> unit
+(** Build a secondary hash index over a column.  Like all DDL this is
+    rejected inside a transaction, which keeps the index set uniform
+    across the pre-transition states the engine retains. *)
+
+val drop_index : t -> string -> unit
+(** Index names are database-wide, so only the name is needed. *)

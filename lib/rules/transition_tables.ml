@@ -89,8 +89,31 @@ let materialize (ti : Trans_info.t) ~current_db (tt : Ast.trans_table) :
 (* A resolver that serves base tables from [db] and transition tables
    from [ti]; this is the evaluation environment for a rule's condition
    and action (Section 4.1: "evaluation of R's condition may depend on
-   E1, S1, and S0"). *)
-let resolver (ti : Trans_info.t) db : Eval.resolver = function
-  | Ast.Base name -> Eval.relation_of_table (Database.table db name)
-  | Ast.Transition tt -> materialize ti ~current_db:db tt
+   E1, S1, and S0").
+
+   Both [ti] and [db] are fixed for the life of one resolver (the
+   engine builds a fresh resolver per operation and per condition
+   evaluation), so materializations are memoized per instance: a
+   predicate that joins against the same transition table once per
+   candidate row pays for the handle-set traversal only once. *)
+let resolver (ti : Trans_info.t) db : Eval.resolver =
+  let trans_memo : (Ast.trans_table, Eval.relation) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let base_memo : (string, Eval.relation) Hashtbl.t = Hashtbl.create 4 in
+  function
+  | Ast.Base name -> (
+    match Hashtbl.find_opt base_memo name with
+    | Some rel -> rel
+    | None ->
+      let rel = Eval.relation_of_table (Database.table db name) in
+      Hashtbl.add base_memo name rel;
+      rel)
+  | Ast.Transition tt -> (
+    match Hashtbl.find_opt trans_memo tt with
+    | Some rel -> rel
+    | None ->
+      let rel = materialize ti ~current_db:db tt in
+      Hashtbl.add trans_memo tt rel;
+      rel)
   | Ast.Derived _ -> assert false

@@ -156,6 +156,9 @@ type statement =
   | Stmt_create_assertion of string * expr
       (* SQL-assertion-style cross-table constraint, compiled to rules *)
   | Stmt_drop_assertion of string
+  | Stmt_create_index of { ix_name : string; ix_table : string; ix_column : string }
+      (* single-column hash index: an equality access path *)
+  | Stmt_drop_index of string
   | Stmt_show_tables
   | Stmt_show_rules
   | Stmt_describe of string

@@ -37,19 +37,41 @@ let row_env tbl row =
   in
   [ [ { Eval.bind_name = Table.name tbl; bind_cols = cols; bind_row = row } ] ]
 
-let selected_handles ?cache resolve tbl where =
-  Table.fold
-    (fun h row acc ->
-      let keep =
-        match where with
-        | None -> true
-        | Some pred -> Eval.eval_predicate ?cache resolve (row_env tbl row) pred
-      in
-      if keep then (h, row) :: acc else acc)
-    tbl []
-  |> List.rev
+(* Victim selection: the rows of [tbl] satisfying [where], in handle
+   order.  With access-path hooks installed, a sargable conjunct over
+   an indexed column narrows the candidates by an index probe first;
+   the full predicate is still applied to each candidate, so the
+   victims are identical to the scan's. *)
+let selected_handles ?cache ?access resolve tbl where =
+  let keep row =
+    match where with
+    | None -> true
+    | Some pred ->
+      Eval.eval_predicate ?cache ?access resolve (row_env tbl row) pred
+  in
+  let scan () =
+    Table.fold (fun h row acc -> if keep row then (h, row) :: acc else acc) tbl []
+    |> List.rev
+  in
+  match access with
+  | None -> scan ()
+  | Some access -> (
+    let name = Table.name tbl in
+    let cols =
+      Array.map (fun c -> c.Schema.col_name) (Table.schema tbl).Schema.columns
+    in
+    match
+      Eval.probe_table ?cache ~access resolve ~table:name ~bind_name:name ~cols
+        where
+    with
+    | Some pairs ->
+      access.Eval.acc_note ~table:name `Index_probe;
+      List.filter (fun (_, row) -> keep row) pairs
+    | None ->
+      access.Eval.acc_note ~table:name `Seq_scan;
+      scan ())
 
-let exec_insert ?cache resolve db table columns source =
+let exec_insert ?cache ?access resolve db table columns source =
   let tbl = Database.table db table in
   let schema = Table.schema tbl in
   let position_row values =
@@ -84,10 +106,11 @@ let exec_insert ?cache resolve db table columns source =
     | `Values exprss ->
       List.map
         (fun exprs ->
-          position_row (List.map (Eval.eval_expr_in ?cache resolve []) exprs))
+          position_row
+            (List.map (Eval.eval_expr_in ?cache ?access resolve []) exprs))
         exprss
     | `Select s ->
-      let rel = Eval.eval_select ?cache resolve s in
+      let rel = Eval.eval_select ?cache ?access resolve s in
       List.map (fun row -> position_row (Array.to_list row)) rel.Eval.rows
   in
   let db, handles =
@@ -99,20 +122,20 @@ let exec_insert ?cache resolve db table columns source =
   in
   { db; affected = A_insert (List.rev handles); result = None }
 
-let exec_delete ?cache resolve db table where =
+let exec_delete ?cache ?access resolve db table where =
   let tbl = Database.table db table in
-  let victims = selected_handles ?cache resolve tbl where in
+  let victims = selected_handles ?cache ?access resolve tbl where in
   let db =
     List.fold_left (fun db (h, _) -> Database.delete db h) db victims
   in
   { db; affected = A_delete victims; result = None }
 
-let exec_update ?cache resolve db table sets where =
+let exec_update ?cache ?access resolve db table sets where =
   let tbl = Database.table db table in
   let schema = Table.schema tbl in
   let set_cols = List.map fst sets in
   List.iter (fun c -> ignore (Schema.column_index schema c)) set_cols;
-  let victims = selected_handles ?cache resolve tbl where in
+  let victims = selected_handles ?cache ?access resolve tbl where in
   let updates =
     List.map
       (fun (h, old_row) ->
@@ -121,7 +144,7 @@ let exec_update ?cache resolve db table sets where =
         List.iter
           (fun (col, e) ->
             new_row.(Schema.column_index schema col) <-
-              Eval.eval_expr_in ?cache resolve env e)
+              Eval.eval_expr_in ?cache ?access resolve env e)
           sets;
         (h, old_row, new_row))
       victims
@@ -256,18 +279,19 @@ let select_read_set resolve db (s : Ast.select) =
         List.map (fun (h, _) -> (h, cols)) (Table.to_list tbl))
       items
 
-let exec_op ?(track_selects = false) ?(optimize = true) resolve db
+let exec_op ?(track_selects = false) ?(optimize = true) ?access resolve db
     (op : Ast.op) : op_result =
   (* one uncorrelated-subquery cache per operation: the database state
      is fixed while the operation identifies its tuples *)
   let cache = if optimize then Some (Eval.make_cache ()) else None in
   match op with
   | Ast.Insert { table; columns; source } ->
-    exec_insert ?cache resolve db table columns source
-  | Ast.Delete { table; where } -> exec_delete ?cache resolve db table where
+    exec_insert ?cache ?access resolve db table columns source
+  | Ast.Delete { table; where } ->
+    exec_delete ?cache ?access resolve db table where
   | Ast.Update { table; sets; where } ->
-    exec_update ?cache resolve db table sets where
+    exec_update ?cache ?access resolve db table sets where
   | Ast.Select_op s ->
-    let rel = Eval.eval_select ?cache resolve s in
+    let rel = Eval.eval_select ?cache ?access resolve s in
     let read = if track_selects then select_read_set resolve db s else [] in
     { db; affected = A_select read; result = Some rel }

@@ -32,6 +32,7 @@ type op_result = {
 val exec_op :
   ?track_selects:bool ->
   ?optimize:bool ->
+  ?access:Eval.access ->
   Eval.resolver ->
   Database.t ->
   Ast.op ->
@@ -41,4 +42,6 @@ val exec_op :
     satisfying the predicate) for single-table selects, conservative
     (every row of each base table in the top-level FROM) otherwise.
     [optimize] (default [true]) enables uncorrelated-subquery caching
-    for the operation. *)
+    for the operation.  [access] installs access-path hooks so
+    sargable predicates over indexed columns are satisfied by index
+    probes instead of scans. *)

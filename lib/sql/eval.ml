@@ -120,6 +120,139 @@ let make_cache () : cache = ref []
 let join_optimization = ref true
 
 (* ------------------------------------------------------------------ *)
+(* Access paths                                                        *)
+
+(* Access-path hooks.  When a caller supplies them, base tables in a
+   from-list are realized lazily, giving the planner a chance to
+   satisfy a sargable equality/IN conjunct of the WHERE clause by an
+   index probe instead of a scan.  [acc_cols] names a base table's
+   columns without materializing its rows (None: unknown table, forcing
+   the eager path); [acc_probe] probes any index over the column (None:
+   no usable index); [acc_note] reports every scan-vs-probe decision
+   for EXPLAIN-style statistics. *)
+type access = {
+  acc_cols : table:string -> string array option;
+  acc_probe :
+    table:string ->
+    column:string ->
+    Value.t list ->
+    (Handle.t * Row.t) list option;
+  acc_note : table:string -> [ `Seq_scan | `Index_probe ] -> unit;
+}
+
+(* Equality-predicate pushdown into index probes; mutable only so the
+   differential harness and the ablation benchmark can compare against
+   pure scans. *)
+let predicate_pushdown = ref true
+
+(* Split a predicate into its top-level AND conjuncts. *)
+let rec conjuncts e =
+  match e with Ast.And (a, b) -> conjuncts a @ conjuncts b | e -> [ e ]
+
+(* Conservative independence test used by the access-path planner: may
+   an expression reference a column of the frame being built — the
+   [target] sources of the FROM list under construction?  Probe values
+   must be evaluable once against the outer scopes alone, so only an
+   expression that provably cannot touch the target frame qualifies:
+   every column reference must resolve either inside a subquery's own
+   scopes (innermost-first, shadowing the target) or past the target in
+   the outer scopes.  Anything unknowable — derived or transition
+   sources whose columns we cannot name, possible ambiguity — answers
+   "maybe", rejecting the probe; the scan path then behaves exactly as
+   before.
+
+   [cols_of] names a base table's columns (for subquery FROM items);
+   inner frames track [(name option, cols option)] where [None] means
+   unknown.  A derived FROM item inside a subquery is walked against
+   the scopes *outside* that subquery, because that is the environment
+   it evaluates in. *)
+let independence ~(target : (string * string array) list)
+    ~(cols_of : string -> string array option) =
+  let target_has_name q = List.exists (fun (n, _) -> String.equal n q) target in
+  let target_has_col c =
+    List.exists (fun (_, cols) -> Array.exists (String.equal c) cols) target
+  in
+  let rec expr inners (e : Ast.expr) =
+    match e with
+    | Ast.Lit _ -> true
+    | Ast.Col { qualifier = Some q; _ } ->
+      let resolves_inner =
+        List.exists
+          (List.exists (fun (n, _) ->
+               match n with Some n -> String.equal n q | None -> false))
+          inners
+      in
+      resolves_inner || not (target_has_name q)
+    | Ast.Col { qualifier = None; column = c } ->
+      let definitely_inner =
+        List.exists
+          (List.exists (fun (_, cols) ->
+               match cols with
+               | Some arr -> Array.exists (String.equal c) arr
+               | None -> false))
+          inners
+      in
+      (* a source with unknown columns might capture [c] — but it might
+         not, so we cannot rule out fall-through to the target *)
+      definitely_inner || not (target_has_col c)
+    | Ast.Binop (_, a, b)
+    | Ast.Cmp (_, a, b)
+    | Ast.And (a, b)
+    | Ast.Or (a, b)
+    | Ast.Like (a, b) -> expr inners a && expr inners b
+    | Ast.Neg a | Ast.Not a | Ast.Is_null a | Ast.Is_not_null a ->
+      expr inners a
+    | Ast.In_list (a, es) | Ast.Not_in_list (a, es) ->
+      expr inners a && List.for_all (expr inners) es
+    | Ast.In_select (a, s) | Ast.Not_in_select (a, s) ->
+      expr inners a && sel inners s
+    | Ast.Exists s | Ast.Scalar_select s -> sel inners s
+    | Ast.Between (a, b, c) -> expr inners a && expr inners b && expr inners c
+    | Ast.Agg (_, arg) -> Option.fold ~none:true ~some:(expr inners) arg
+    | Ast.Fn (_, args) -> List.for_all (expr inners) args
+    | Ast.Case (branches, else_) ->
+      List.for_all (fun (c, v) -> expr inners c && expr inners v) branches
+      && Option.fold ~none:true ~some:(expr inners) else_
+  and sel inners (s : Ast.select) =
+    (* derived FROM items evaluate against the scopes outside this
+       select, so they are walked with the enclosing stack *)
+    let derived_ok =
+      List.for_all
+        (fun item ->
+          match item.Ast.source with
+          | Ast.Derived sub -> sel inners sub
+          | Ast.Base _ | Ast.Transition _ -> true)
+        s.Ast.from
+    in
+    let frame =
+      List.map
+        (fun item ->
+          let name, cols =
+            match item.Ast.source with
+            | Ast.Base n -> (Some n, cols_of n)
+            | Ast.Transition _ | Ast.Derived _ -> (None, None)
+          in
+          match item.Ast.alias with
+          | Some a -> (Some a, cols)
+          | None -> (name, cols))
+        s.Ast.from
+    in
+    let inners' = frame :: inners in
+    derived_ok
+    && List.for_all
+         (function
+           | Ast.Star | Ast.Table_star _ -> true
+           | Ast.Proj (e, _) -> expr inners' e)
+         s.Ast.projections
+    && Option.fold ~none:true ~some:(expr inners') s.Ast.where
+    && List.for_all (expr inners') s.Ast.group_by
+    && Option.fold ~none:true ~some:(expr inners') s.Ast.having
+    && List.for_all (fun (e, _) -> expr inners' e) s.Ast.order_by
+    && List.for_all (fun (_, sub) -> sel inners sub) s.Ast.compounds
+  in
+  (expr [], sel [])
+
+(* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
 
 type context = {
@@ -132,6 +265,8 @@ type context = {
      if a column resolves from one of the outermost [suffix_len]
      scopes" *)
   watches : (int * bool ref) list;
+  (* access-path hooks; None evaluates every base table by scan *)
+  access : access option;
 }
 
 let truth_value = function
@@ -382,26 +517,46 @@ and default_proj_name e =
    an already-joined one, a hash join is used instead.  The hash join
    preserves nested-loop enumeration order and the full WHERE predicate
    is still applied afterwards, so results are identical.  The
-   [join_optimization] switch exists for the ablation benchmark. *)
+   [join_optimization] switch exists for the ablation benchmark.
+
+   When access-path hooks are installed, base tables are realized
+   lazily: a sargable conjunct over an indexed column turns the scan
+   into an index probe (see [probe_source]).  A probe returns the
+   matching rows in handle order — an order-preserving subsequence of
+   the scan — and the full WHERE predicate is still applied afterwards,
+   so results are again identical. *)
 and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
     env list =
   let resolve_item ix item =
-    let rel =
-      match item.Ast.source with
-      | Ast.Derived s -> eval_select_inner ctx outer s
-      | src -> ctx.resolve src
-    in
-    let bind_name =
+    let named rel =
       match item.Ast.alias with
       | Some a -> a
       | None -> if rel.rel_name = "" then Printf.sprintf "$%d" ix else rel.rel_name
     in
-    (bind_name, rel)
+    match item.Ast.source with
+    | Ast.Derived s ->
+      let rel = eval_select_inner ctx outer s in
+      (named rel, rel.cols, `Rows rel.rows)
+    | Ast.Base tbl_name -> (
+      let lazy_cols =
+        match ctx.access with
+        | None -> None
+        | Some access -> access.acc_cols ~table:tbl_name
+      in
+      match lazy_cols with
+      | Some cols ->
+        (Option.value item.Ast.alias ~default:tbl_name, cols, `Table tbl_name)
+      | None ->
+        let rel = ctx.resolve item.Ast.source in
+        (named rel, rel.cols, `Rows rel.rows))
+    | (Ast.Transition _) as src ->
+      let rel = ctx.resolve src in
+      (named rel, rel.cols, `Rows rel.rows)
   in
   let sources = List.mapi resolve_item from in
   (* duplicate binding names within one frame are rejected: unqualified
      references could silently pick the wrong one *)
-  let names = List.map fst sources in
+  let names = List.map (fun (n, _, _) -> n) sources in
   let rec check = function
     | [] -> ()
     | n :: rest ->
@@ -411,19 +566,17 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
       check rest
   in
   check names;
-  let rec conjuncts e =
-    match e with Ast.And (a, b) -> conjuncts a @ conjuncts b | e -> [ e ]
-  in
+  let frame_shape = List.map (fun (n, cols, _) -> (n, cols)) sources in
   (* attribute a column reference to exactly one local source *)
   let attribute qualifier column =
-    let has_col (_, rel) = Array.exists (String.equal column) rel.cols in
+    let has_col (_, cols) = Array.exists (String.equal column) cols in
     match qualifier with
     | Some q -> (
-      match List.find_opt (fun (n, _) -> String.equal n q) sources with
+      match List.find_opt (fun (n, _) -> String.equal n q) frame_shape with
       | Some src when has_col src -> Some src
       | _ -> None)
     | None -> (
-      match List.filter has_col sources with [ src ] -> Some src | _ -> None)
+      match List.filter has_col frame_shape with [ src ] -> Some src | _ -> None)
   in
   let equi_pairs =
     if not !join_optimization then []
@@ -439,16 +592,16 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
                   Ast.Col { qualifier = q1; column = c1 },
                   Ast.Col { qualifier = q2; column = c2 } ) -> (
               match attribute q1 c1, attribute q2 c2 with
-              | Some (n1, r1), Some (n2, r2) when not (String.equal n1 n2) ->
-                Some ((n1, r1, c1), (n2, r2, c2))
+              | Some (n1, cs1), Some (n2, cs2) when not (String.equal n1 n2) ->
+                Some ((n1, cs1, c1), (n2, cs2, c2))
               | _ -> None)
             | _ -> None)
           (conjuncts pred)
   in
-  let col_index rel c =
+  let col_index cols c =
     let rec go i =
-      if i >= Array.length rel.cols then None
-      else if String.equal rel.cols.(i) c then Some i
+      if i >= Array.length cols then None
+      else if String.equal cols.(i) c then Some i
       else go (i + 1)
     in
     go 0
@@ -458,8 +611,30 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
 
     let compare = Value.compare_total
   end) in
+  (* realize a lazily-bound base table: by index probe when a sargable
+     conjunct allows it, by scan otherwise *)
+  let realize bind_name tbl_name =
+    let access =
+      match ctx.access with Some a -> a | None -> assert false
+    in
+    match
+      probe_source ctx outer ~frame:frame_shape ~target_name:bind_name
+        ~table:tbl_name where
+    with
+    | Some pairs ->
+      access.acc_note ~table:tbl_name `Index_probe;
+      List.map snd pairs
+    | None ->
+      access.acc_note ~table:tbl_name `Seq_scan;
+      (ctx.resolve (Ast.Base tbl_name)).rows
+  in
   (* partial frames are built in reverse binding order *)
-  let extend partials (name, rel) =
+  let extend partials (name, cols, kind) =
+    let rows =
+      match kind with
+      | `Rows rows -> rows
+      | `Table tbl_name -> realize name tbl_name
+    in
     let already_bound n =
       match partials with
       | [] -> false
@@ -467,18 +642,18 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
     in
     let link =
       List.find_map
-        (fun ((n1, r1, c1), (n2, r2, c2)) ->
+        (fun ((n1, cs1, c1), (n2, cs2, c2)) ->
           if String.equal n2 name && already_bound n1 then
-            Some ((n1, r1, c1), c2)
+            Some ((n1, cs1, c1), c2)
           else if String.equal n1 name && already_bound n2 then
-            Some ((n2, r2, c2), c1)
+            Some ((n2, cs2, c2), c1)
           else None)
         equi_pairs
     in
     match link with
-    | Some ((bound_name, bound_rel, bound_col), new_col) ->
-      let new_ix = Option.get (col_index rel new_col) in
-      let bound_ix = Option.get (col_index bound_rel bound_col) in
+    | Some ((bound_name, bound_cols, bound_col), new_col) ->
+      let new_ix = Option.get (col_index cols new_col) in
+      let bound_ix = Option.get (col_index bound_cols bound_col) in
       (* hash the new source's rows by join key, preserving row order
          within each bucket *)
       let table =
@@ -487,7 +662,7 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
             let key = row.(new_ix) in
             let existing = Option.value (Key_map.find_opt key m) ~default:[] in
             Key_map.add key (row :: existing) m)
-          Key_map.empty rel.rows
+          Key_map.empty rows
       in
       let table = Key_map.map List.rev table in
       List.concat_map
@@ -501,7 +676,7 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
           | Some rows ->
             List.map
               (fun row ->
-                { bind_name = name; bind_cols = rel.cols; bind_row = row }
+                { bind_name = name; bind_cols = cols; bind_row = row }
                 :: partial)
               rows)
         partials
@@ -510,13 +685,79 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
         (fun partial ->
           List.map
             (fun row ->
-              { bind_name = name; bind_cols = rel.cols; bind_row = row }
+              { bind_name = name; bind_cols = cols; bind_row = row }
               :: partial)
-            rel.rows)
+            rows)
         partials
   in
   let frames = List.fold_left extend [ [] ] sources in
   List.map (fun frame -> List.rev frame :: outer) frames
+
+(* The access-path planner: try to satisfy one FROM source by an index
+   probe instead of a scan.  Scans the WHERE conjuncts for the first
+   sargable pattern — [col = e], [e = col], [col IN (e, ...)] or
+   [col IN (select ...)] — whose column attributes uniquely to the
+   target source and whose other side provably cannot reference the
+   frame being built (see [independence]).  The probe values are then
+   evaluated once against the outer scopes; any evaluation error falls
+   back to the scan, which either reports the same error while
+   filtering or — e.g. over an empty table — never evaluates the
+   faulty expression, exactly matching unoptimized behaviour.  NULL
+   probe values match nothing, as SQL equality requires. *)
+and probe_source ctx (outer : env) ~frame ~target_name ~table
+    (where : Ast.expr option) : (Handle.t * Row.t) list option =
+  match ctx.access, where with
+  | None, _ | _, None -> None
+  | Some access, Some pred ->
+    if not !predicate_pushdown then None
+    else begin
+      let ind_expr, ind_sel =
+        independence ~target:frame ~cols_of:(fun t -> access.acc_cols ~table:t)
+      in
+      let attributes_to_target qualifier column =
+        let has (_, cols) = Array.exists (String.equal column) cols in
+        match qualifier with
+        | Some q ->
+          String.equal q target_name
+          && (match List.find_opt (fun (n, _) -> String.equal n q) frame with
+             | Some src -> has src
+             | None -> false)
+        | None -> (
+          match List.filter has frame with
+          | [ (n, _) ] -> String.equal n target_name
+          | _ -> false)
+      in
+      let eval_ctx = { ctx with group = None } in
+      let values_of = function
+        | `Exprs es -> List.map (eval_expr eval_ctx outer) es
+        | `Select sub -> subquery_column eval_ctx outer sub
+      in
+      let candidate = function
+        | Ast.Cmp (Ast.Eq, Ast.Col { qualifier; column }, e)
+          when attributes_to_target qualifier column && ind_expr e ->
+          Some (column, `Exprs [ e ])
+        | Ast.Cmp (Ast.Eq, e, Ast.Col { qualifier; column })
+          when attributes_to_target qualifier column && ind_expr e ->
+          Some (column, `Exprs [ e ])
+        | Ast.In_list (Ast.Col { qualifier; column }, es)
+          when attributes_to_target qualifier column && List.for_all ind_expr es
+          ->
+          Some (column, `Exprs es)
+        | Ast.In_select (Ast.Col { qualifier; column }, sub)
+          when attributes_to_target qualifier column && ind_sel sub ->
+          Some (column, `Select sub)
+        | _ -> None
+      in
+      List.find_map
+        (fun conj ->
+          match candidate conj with
+          | None -> None
+          | Some (column, src) -> (
+            match (try Some (values_of src) with _ -> None) with
+            | None -> None
+            | Some values -> access.acc_probe ~table ~column values))
+        (conjuncts pred)
+    end
 
 and project_columns ctx (frame_env : env) (projections : Ast.proj list) =
   (* Expand stars against the local frame of [frame_env]. *)
@@ -812,15 +1053,25 @@ and static_output_columns ctx (s : Ast.select) =
 
 (* Public entry points *)
 
-let make_context ?cache resolve =
-  { resolve; group = None; cache; watches = [] }
+let make_context ?cache ?access resolve =
+  { resolve; group = None; cache; watches = []; access }
 
-let eval_select ?cache ?(outer = empty_env) resolve s =
-  eval_select_inner (make_context ?cache resolve) outer s
+let eval_select ?cache ?access ?(outer = empty_env) resolve s =
+  eval_select_inner (make_context ?cache ?access resolve) outer s
 
-let eval_expr_in ?cache ?(outer = empty_env) resolve env e =
-  eval_expr (make_context ?cache resolve) (env @ outer) e
+let eval_expr_in ?cache ?access ?(outer = empty_env) resolve env e =
+  eval_expr (make_context ?cache ?access resolve) (env @ outer) e
 
-let eval_predicate ?cache ?(outer = empty_env) resolve env e =
+let eval_predicate ?cache ?access ?(outer = empty_env) resolve env e =
   Value.truth_holds
-    (value_truth (eval_expr (make_context ?cache resolve) (env @ outer) e))
+    (value_truth (eval_expr (make_context ?cache ?access resolve) (env @ outer) e))
+
+(* Entry point for the DML layer's victim selection: probe one base
+   table directly, using the same sargable detection, independence
+   analysis and fallback semantics as the FROM-list planner. *)
+let probe_table ?cache ~access resolve ~table ~bind_name ~cols where =
+  probe_source
+    { resolve; group = None; cache; watches = []; access = Some access }
+    empty_env
+    ~frame:[ (bind_name, cols) ]
+    ~target_name:bind_name ~table where

@@ -58,18 +58,70 @@ val join_optimization : bool ref
     order-preserving hash join.  Results are identical; the switch
     exists for the ablation benchmark. *)
 
+(** {2 Access paths}
+
+    When a caller supplies {!access} hooks, base tables in a from-list
+    are realized lazily: a sargable equality/IN conjunct of the WHERE
+    clause over an indexed column is satisfied by an index probe
+    instead of a scan.  A probe returns matching rows in handle
+    (insertion) order — an order-preserving subsequence of the scan —
+    and the full predicate is still applied afterwards, so results are
+    identical either way. *)
+
+type access = {
+  acc_cols : table:string -> string array option;
+      (** a base table's column names, without materializing its rows;
+          [None] for an unknown table (forcing the eager path) *)
+  acc_probe :
+    table:string ->
+    column:string ->
+    Value.t list ->
+    (Handle.t * Row.t) list option;
+      (** probe any index over the column; [None] when no usable index
+          exists *)
+  acc_note : table:string -> [ `Seq_scan | `Index_probe ] -> unit;
+      (** called once per base-table access with the planner's
+          scan-vs-probe decision, for EXPLAIN-style statistics *)
+}
+
+val predicate_pushdown : bool ref
+(** When true (the default) and access hooks are installed, sargable
+    conjuncts are pushed down into index probes.  Results are
+    identical; the switch exists for the differential test harness and
+    the ablation benchmark. *)
+
+val probe_table :
+  ?cache:cache ->
+  access:access ->
+  resolver ->
+  table:string ->
+  bind_name:string ->
+  cols:string array ->
+  Ast.expr option ->
+  (Handle.t * Row.t) list option
+(** Entry point for the DML layer's victim selection: probe one base
+    table (bound under [bind_name] with columns [cols]) using the same
+    sargable detection and fallback semantics as the FROM-list
+    planner.  [None] means "scan instead". *)
+
 (** {2 Evaluation} *)
 
-val eval_select : ?cache:cache -> ?outer:env -> resolver -> Ast.select -> relation
+val eval_select :
+  ?cache:cache -> ?access:access -> ?outer:env -> resolver -> Ast.select ->
+  relation
 (** Evaluate a select operation: cross product of the from-list, WHERE
     filter, grouping and aggregates, HAVING, projection, DISTINCT,
     ORDER BY, LIMIT.  [outer] supplies enclosing scopes for correlated
     evaluation. *)
 
-val eval_expr_in : ?cache:cache -> ?outer:env -> resolver -> env -> Ast.expr -> Value.t
+val eval_expr_in :
+  ?cache:cache -> ?access:access -> ?outer:env -> resolver -> env -> Ast.expr ->
+  Value.t
 (** Evaluate an expression in the given environment (aggregates are
     rejected outside grouped queries). *)
 
-val eval_predicate : ?cache:cache -> ?outer:env -> resolver -> env -> Ast.expr -> bool
+val eval_predicate :
+  ?cache:cache -> ?access:access -> ?outer:env -> resolver -> env -> Ast.expr ->
+  bool
 (** Evaluate a predicate and collapse three-valued logic: [true] only
     when the predicate is definitely true. *)

@@ -782,14 +782,24 @@ let parse_statement st =
         let name = expect_ident st "rule name" in
         Ast.Stmt_create_rule (parse_rule_def st ~rule_name:name)
       end
-    else error st "expected TABLE, RULE or ASSERTION after CREATE")
+    else if accept_kw st "INDEX" then begin
+      let ix_name = expect_ident st "index name" in
+      expect_kw st "ON";
+      let ix_table = expect_ident st "table name" in
+      match parse_name_list st with
+      | [ ix_column ] -> Ast.Stmt_create_index { ix_name; ix_table; ix_column }
+      | _ -> error st "indexes are single-column: expected exactly one column"
+    end
+    else error st "expected TABLE, RULE, ASSERTION or INDEX after CREATE")
   | Token.Kw "DROP" -> (
     advance st;
     if accept_kw st "TABLE" then Ast.Stmt_drop_table (expect_ident st "table name")
     else if accept_kw st "RULE" then Ast.Stmt_drop_rule (expect_ident st "rule name")
     else if accept_kw st "ASSERTION" then
       Ast.Stmt_drop_assertion (expect_ident st "assertion name")
-    else error st "expected TABLE, RULE or ASSERTION after DROP")
+    else if accept_kw st "INDEX" then
+      Ast.Stmt_drop_index (expect_ident st "index name")
+    else error st "expected TABLE, RULE, ASSERTION or INDEX after DROP")
   | Token.Kw "ACTIVATE" ->
     advance st;
     ignore (accept_kw st "RULE");

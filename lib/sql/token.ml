@@ -29,7 +29,7 @@ let keywords =
     "ON"; "CASCADE"; "RESTRICT"; "ACTION"; "BEGIN"; "COMMIT"; "PROCESS";
     "RULES"; "CALL"; "CASE"; "ELSE"; "END"; "COUNT"; "SUM"; "AVG"; "MIN";
     "UNION"; "EXCEPT"; "INTERSECT"; "ALL"; "ASSERTION";
-    "MAX"; "SHOW"; "TABLES"; "ACTIVATE"; "DEACTIVATE"; "DESCRIBE";
+    "MAX"; "SHOW"; "TABLES"; "ACTIVATE"; "DEACTIVATE"; "DESCRIBE"; "INDEX";
   ]
 
 let keyword_set =

@@ -400,6 +400,32 @@ let test_priority_beats_strategy () =
   Alcotest.(check (list string)) "hi first" [ "hi"; "lo" ]
     (string_list_cells s "select who from trace")
 
+(* The execution trace must record the exact event sequence of
+   Figure 1: the external transition, each consideration in priority
+   order, each firing, and quiescence. *)
+let test_trace_event_sequence () =
+  let s = counter_system () in
+  run s
+    "create rule a when inserted into c then insert into log values ('a', 1)";
+  run s
+    "create rule b when inserted into c then insert into log values ('b', 2)";
+  run s "create rule priority b before a";
+  Engine.set_tracing (System.engine s) true;
+  run s "insert into c values (7)";
+  let expected =
+    [
+      Engine.Ev_external { effect_size = 1 };
+      Engine.Ev_considered { rule = "b"; condition_held = true };
+      Engine.Ev_fired { rule = "b"; effect_size = 1 };
+      Engine.Ev_considered { rule = "a"; condition_held = true };
+      Engine.Ev_fired { rule = "a"; effect_size = 1 };
+      Engine.Ev_quiescent;
+    ]
+  in
+  Alcotest.(check bool)
+    "exact trace sequence" true
+    (Engine.trace (System.engine s) = expected)
+
 (* The Section 4.3 pruning optimization must be semantically invisible:
    the composite-effect scenario behaves identically with it on or
    off. *)

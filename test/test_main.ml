@@ -23,4 +23,6 @@ let () =
       ("scripts", Test_scripts.suite);
       ("interplay", Test_interplay.suite);
       ("properties", Test_properties.suite);
+      ("index-equivalence", Test_index_equivalence.suite);
+      ("config-matrix", Test_config_matrix.suite);
     ]
