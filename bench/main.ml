@@ -18,6 +18,7 @@
      E10 (Section 4.3)       per-rule pruning of transition info
      E11 (ablation)          hash equi-joins inside rule actions
      E12 (ablation)           secondary hash indexes on point queries
+     E13 (robustness)        abort/retry overhead under fault injection
 
    Run with:  dune exec bench/main.exe            (all experiments)
               dune exec bench/main.exe -- E2 E3   (a subset)            *)
@@ -715,12 +716,66 @@ let e12 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E13: abort/retry overhead of the exception-safety machinery.  The
+   engine snapshots the database at block and transaction start;
+   because the store is a persistent structure, taking and restoring a
+   snapshot is O(1), so a transaction that faults, aborts and is
+   retried should cost about one extra attempt regardless of database
+   size.  The faulted arm injects at the first DML hit point of the
+   first attempt, observes the abort, and re-runs the block.           *)
+
+let e13_system n =
+  let s = System.create () in
+  ignore_exec s "create table t (a int, b int)";
+  ignore
+    (Engine.execute_block (System.engine s)
+       [ insert_op "t" (List.init n (fun i -> [ vi i; vi 0 ])) ]);
+  s
+
+(* a net no-op block, so the table size is stable across iterations *)
+let e13_ops =
+  parse_ops "insert into t values (0 - 1, 0); delete from t where a = 0 - 1"
+
+let e13_test_of name faulted =
+  Test.make_indexed_with_resource ~name ~fmt:"%s:n=%d" ~args:[ 256; 4096 ]
+    Test.multiple
+    ~allocate:(fun n -> e13_system n)
+    ~free:(fun _ -> Fault.enable false)
+    (fun _n ->
+      Staged.stage (fun s ->
+          let eng = System.engine s in
+          if faulted then begin
+            Fault.arm 1;
+            (match Engine.execute_block eng e13_ops with
+            | _ -> ()
+            | exception Fault.Injected _ -> ());
+            Fault.disarm ()
+          end;
+          ignore (Engine.execute_block eng e13_ops)))
+
+let e13 () =
+  print_header "E13" "abort/retry overhead (exception-safe transactions)"
+    "snapshot restoration is O(1) on the persistent store: a faulted \
+     transaction that aborts and retries costs about one extra attempt, \
+     independent of database size";
+  let clean = run_test (e13_test_of "clean" false) in
+  let faulted = run_test (e13_test_of "abort-retry" true) in
+  let rows =
+    List.map2
+      (fun (name, c) (_, f) ->
+        let n = int_of_string (List.nth (String.split_on_char '=' name) 1) in
+        [ string_of_int n; pretty_ns c; pretty_ns f; ratio f c ])
+      clean faulted
+  in
+  print_table [ "rows"; "clean"; "abort+retry"; "retry/clean" ] rows
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12);
+    ("E12", e12); ("E13", e13);
   ]
 
 let () =

@@ -17,14 +17,26 @@ open Core
 
 let print_error e = Printf.printf "error: %s\n%!" (Errors.to_string e)
 
+(* Report an error together with what happened to the open transaction:
+   the engine guarantees either the statement had no effect (block
+   restored, transaction still open) or the whole transaction was
+   aborted and its start state restored. *)
 let exec_and_print system sql =
+  let was_in_txn = Engine.in_transaction (System.engine system) in
   match System.exec system sql with
   | results ->
     List.iter
       (fun r ->
         print_endline (System.render_result r))
       results
-  | exception Errors.Error e -> print_error e
+  | exception Errors.Error e ->
+    print_error e;
+    let in_txn = Engine.in_transaction (System.engine system) in
+    if was_in_txn && not in_txn then
+      print_endline "transaction aborted; all its effects were rolled back"
+    else if in_txn then
+      print_endline
+        "the failed statement had no effect; the transaction is still open"
 
 let print_stats system =
   let st = Engine.stats (System.engine system) in
@@ -34,11 +46,12 @@ let print_stats system =
      rule firings:          %d\n\
      conditions evaluated:  %d\n\
      rollbacks:             %d\n\
+     aborts:                %d\n\
      seq scans:             %d\n\
      index probes:          %d\n"
     st.Engine.transactions st.Engine.transitions st.Engine.rule_firings
-    st.Engine.conditions_evaluated st.Engine.rollbacks st.Engine.seq_scans
-    st.Engine.index_probes
+    st.Engine.conditions_evaluated st.Engine.rollbacks st.Engine.aborts
+    st.Engine.seq_scans st.Engine.index_probes
 
 let print_analysis system =
   Format.printf "%a@." Analysis.pp_report (System.analyze system)

@@ -17,6 +17,7 @@ module Table = Relational.Table
 module Database = Relational.Database
 module Index = Relational.Index
 module Errors = Relational.Errors
+module Fault = Relational.Fault
 module Ast = Sqlf.Ast
 module Parser = Sqlf.Parser
 module Pretty = Sqlf.Pretty

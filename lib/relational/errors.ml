@@ -46,8 +46,8 @@ let to_string = function
       (String.concat " -> " rs)
   | Rule_limit_exceeded { rule; steps } ->
     Printf.sprintf
-      "rule processing exceeded %d steps (last rule %S); possible \
-       non-terminating rule set"
+      "rule processing exceeded its step limit at action %d (last rule %S); \
+       possible non-terminating rule set"
       steps rule
   | Unknown_procedure p -> Printf.sprintf "unknown external procedure %S" p
   | Invalid_transition_reference msg ->

@@ -157,9 +157,13 @@ let equal a b =
   && Handle.Map.equal Col_set.equal a.upd b.upd
   && Handle.Map.equal Col_set.equal a.sel b.sel
 
+(* Tuples the effect touches, across all four components: with select
+   tracking on (Section 5.1) the S component counts too, so trace
+   [effect_size]s and statistics reflect retrievals as well as
+   writes. *)
 let cardinality e =
   Handle.Set.cardinal e.ins + Handle.Set.cardinal e.del
-  + Handle.Map.cardinal e.upd
+  + Handle.Map.cardinal e.upd + Handle.Map.cardinal e.sel
 
 let pp ppf e =
   let pp_handles ppf s =

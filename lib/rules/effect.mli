@@ -71,6 +71,8 @@ val well_formed : t -> bool
 
 val equal : t -> t -> bool
 val cardinality : t -> int
-(** Number of tuples mentioned in [I], [D] and [U]. *)
+(** Number of tuples mentioned in [I], [D], [U] and — when select
+    tracking is on — [S], so sizes reported in traces and statistics
+    count retrievals as well as writes. *)
 
 val pp : Format.formatter -> t -> unit

@@ -52,7 +52,8 @@ type stats = {
   mutable transitions : int; (* external + rule-generated *)
   mutable rule_firings : int; (* actions executed *)
   mutable conditions_evaluated : int;
-  mutable rollbacks : int;
+  mutable rollbacks : int; (* rule-requested rollbacks and rollback_txn *)
+  mutable aborts : int; (* error-driven transaction aborts *)
   mutable seq_scans : int; (* base-table accesses answered by scan *)
   mutable index_probes : int; (* base-table accesses answered by index probe *)
 }
@@ -65,6 +66,8 @@ type event =
   | Ev_considered of { rule : string; condition_held : bool }
   | Ev_fired of { rule : string; effect_size : int }
   | Ev_rollback of { rule : string }
+  | Ev_abort of { reason : string }
+      (* an error aborted the transaction; its effects were undone *)
   | Ev_quiescent
 
 type t = {
@@ -78,6 +81,10 @@ type t = {
   mutable seq : int;
   clock : Selection.clock;
   mutable last_considered : int Str_map.t;
+  mutable considered0 : int Str_map.t;
+      (* [last_considered] at transaction start, restored on abort so a
+         faulted-then-retried transaction sees the same selection state
+         as a fault-free run under every strategy *)
   config : config;
   procedures : Procedures.registry;
   stats : stats;
@@ -101,6 +108,7 @@ let create ?(config = default_config) db =
     seq = 0;
     clock = Selection.make_clock ();
     last_considered = Str_map.empty;
+    considered0 = Str_map.empty;
     config;
     procedures = Procedures.create ();
     stats =
@@ -110,6 +118,7 @@ let create ?(config = default_config) db =
         rule_firings = 0;
         conditions_evaluated = 0;
         rollbacks = 0;
+        aborts = 0;
         seq_scans = 0;
         index_probes = 0;
       };
@@ -118,6 +127,7 @@ let create ?(config = default_config) db =
   }
 
 let database t = t.db
+let transition_start t = t.trans_start
 let stats t = t.stats
 
 (* Access-path hooks for the evaluator: column metadata and index
@@ -156,6 +166,7 @@ let pp_event ppf = function
   | Ev_fired { rule; effect_size } ->
     Fmt.pf ppf "fired %s (%d tuples affected)" rule effect_size
   | Ev_rollback { rule } -> Fmt.pf ppf "rollback by %s" rule
+  | Ev_abort { reason } -> Fmt.pf ppf "transaction aborted: %s" reason
   | Ev_quiescent -> Fmt.string ppf "quiescent"
 
 (* ------------------------------------------------------------------ *)
@@ -224,6 +235,7 @@ let begin_txn t =
   t.txn_start <- Some t.db;
   t.trans_start <- t.db;
   t.pending <- Effect.empty;
+  t.considered0 <- t.last_considered;
   t.trace <- [];
   t.stats.transactions <- t.stats.transactions + 1
 
@@ -257,26 +269,57 @@ let run_ops t ~resolver_of (ops : Ast.op list) =
 let external_resolver db : Eval.resolver = Eval.base_resolver db
 
 (* Execute externally-generated operations inside the open transaction
-   (they extend the current external transition). *)
+   (they extend the current external transition).  Section 2.1 requires
+   operation blocks to execute indivisibly, so a failing operation must
+   not leave its predecessors' mutations behind: the whole block's
+   effects are applied and recorded in [pending], or none are. *)
 let submit_ops t (ops : Ast.op list) =
   require_txn t;
-  let eff, results = run_ops t ~resolver_of:external_resolver ops in
-  t.pending <- Effect.compose t.pending eff;
-  results
+  let db0 = t.db in
+  match run_ops t ~resolver_of:external_resolver ops with
+  | eff, results ->
+    t.pending <- Effect.compose t.pending eff;
+    results
+  | exception e ->
+    t.db <- db0;
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Rule processing (Figure 1)                                          *)
 
 exception Rolled_back_exc
 
-let rollback_to_txn_start t =
+(* Restore the exact transaction-start state and close the transaction:
+   database, pending effect, per-rule transition information, the
+   current-transition snapshot (a stale [trans_start] would let a later
+   inspection observe a discarded state), and the selection bookkeeping
+   a retry must not see. *)
+let restore_txn_start t =
   (match t.txn_start with
-  | Some db0 -> t.db <- db0
+  | Some db0 ->
+    t.db <- db0;
+    t.trans_start <- db0
   | None -> assert false);
   t.txn_start <- None;
   t.pending <- Effect.empty;
   t.infos <- Str_map.empty;
+  t.last_considered <- t.considered0
+
+let rollback_to_txn_start t =
+  restore_txn_start t;
   t.stats.rollbacks <- t.stats.rollbacks + 1
+
+(* An error aborted the transaction: record it (observably — the trace
+   survives until the next [begin_txn] and the abort count is a
+   statistic of its own), then restore the start state. *)
+let abort_txn t exn =
+  let reason =
+    match exn with Errors.Error e -> Errors.to_string e | e -> Printexc.to_string e
+  in
+  record t (Ev_abort { reason });
+  Log.info (fun m -> m "transaction aborted: %s" reason);
+  restore_txn_start t;
+  t.stats.aborts <- t.stats.aborts + 1
 
 let info_of t name =
   Option.value (Str_map.find_opt name t.infos) ~default:Trans_info.empty
@@ -288,6 +331,7 @@ let action_block t (rule : Rule.t) resolve =
   | Ast.Act_rollback -> assert false
   | Ast.Act_block ops -> ops
   | Ast.Act_call name ->
+    Fault.hit Fault.Procedure_call;
     let fn = Procedures.find t.procedures name in
     fn { Procedures.query = (fun s -> Eval.eval_select resolve s);
          rule_name = rule.Rule.name }
@@ -351,6 +395,7 @@ let process_rules_exn t =
         match Rule.condition rule with
         | None -> true
         | Some cond ->
+          Fault.hit Fault.Rule_condition;
           let cache =
             if t.config.optimize then Some (Eval.make_cache ()) else None
           in
@@ -368,15 +413,17 @@ let process_rules_exn t =
       end
       else begin
         incr steps;
-        if !steps > t.config.max_steps then begin
-          let name = rule.Rule.name in
-          rollback_to_txn_start t;
+        if !steps > t.config.max_steps then
+          (* [!steps] is the true count of attempted action executions
+             (the limit check counts the action it is about to run);
+             the abort wrapper in [process_rules] restores the
+             transaction-start state *)
           Errors.raise_error
-            (Errors.Rule_limit_exceeded { rule = name; steps = !steps - 1 })
-        end;
+            (Errors.Rule_limit_exceeded { rule = rule.Rule.name; steps = !steps });
         t.stats.rule_firings <- t.stats.rule_firings + 1;
         t.stats.transitions <- t.stats.transitions + 1;
         let old_db = t.db in
+        Fault.hit Fault.Rule_action;
         let ops = action_block t rule resolve in
         (* the action's transition tables are based on the acting
            rule's information and the evolving current state *)
@@ -421,20 +468,36 @@ let process_rules_exn t =
 
 (* Section 5.3 rule triggering point: complete the current external
    transition, process rules, and (on success) begin a new transition
-   within the same transaction. *)
+   within the same transaction.  Any error raised during rule
+   processing — a failing condition or action, a divergent rule set
+   hitting the step limit, an unknown procedure — aborts the whole
+   transaction: the database, pending effect, transition information
+   and transition-start snapshot are restored to the transaction-start
+   state before the error is re-raised. *)
 let process_rules t =
   match process_rules_exn t with
   | () ->
     t.trans_start <- t.db;
     Committed
   | exception Rolled_back_exc -> Rolled_back
+  | exception e ->
+    if in_transaction t then abort_txn t e;
+    raise e
 
 let commit t =
   match process_rules t with
-  | Committed ->
-    t.txn_start <- None;
-    t.infos <- Str_map.empty;
-    Committed
+  | Committed -> (
+    (* commit finalization is itself an injection site: a failure after
+       rule processing but before the transaction closes must still
+       restore the exact start state *)
+    match Fault.hit Fault.Commit_point with
+    | () ->
+      t.txn_start <- None;
+      t.infos <- Str_map.empty;
+      Committed
+    | exception e ->
+      abort_txn t e;
+      raise e)
   | Rolled_back -> Rolled_back
 
 let rollback_txn t =
@@ -451,9 +514,9 @@ let execute_block t (ops : Ast.op list) =
     let outcome = commit t in
     (outcome, results)
   with e ->
-    (* an error inside the block or during rule processing aborts the
-       transaction *)
-    if in_transaction t then rollback_to_txn_start t;
+    (* an error inside the block aborts the transaction ([commit] has
+       already aborted and closed it for rule-processing errors) *)
+    if in_transaction t then abort_txn t e;
     raise e
 
 (* Evaluate a query outside any rule context. *)

@@ -51,6 +51,9 @@ type stats = {
   mutable rule_firings : int;  (** actions executed *)
   mutable conditions_evaluated : int;
   mutable rollbacks : int;
+      (** rule-requested rollbacks and explicit {!rollback_txn} calls *)
+  mutable aborts : int;
+      (** transactions undone because an error was raised mid-flight *)
   mutable seq_scans : int;
       (** base-table accesses answered by a full scan *)
   mutable index_probes : int;
@@ -65,12 +68,22 @@ type event =
   | Ev_considered of { rule : string; condition_held : bool }
   | Ev_fired of { rule : string; effect_size : int }
   | Ev_rollback of { rule : string }
+  | Ev_abort of { reason : string }
+      (** an error aborted the transaction; all its effects were undone
+          and the exact transaction-start state restored *)
   | Ev_quiescent
 
 type t
 
 val create : ?config:config -> Database.t -> t
 val database : t -> Database.t
+
+val transition_start : t -> Database.t
+(** The state at the start of the current external transition (equal to
+    the current database outside a transaction and after an abort or
+    rollback — never a discarded snapshot).  Exposed for tooling and
+    the exception-safety tests. *)
+
 val stats : t -> stats
 val in_transaction : t -> bool
 
@@ -107,16 +120,31 @@ val begin_txn : t -> unit
 val submit_ops : t -> Ast.op list -> Eval.relation list
 (** Execute externally-generated operations inside the open
     transaction, extending the current external transition.  Returns
-    the result rows of any select operations. *)
+    the result rows of any select operations.
+
+    Exception safety (paper Section 2.1: blocks execute indivisibly):
+    if any operation raises, the database is restored to its state at
+    the start of the block before the error propagates — the block has
+    no effect, nothing reaches the pending transition, and the
+    transaction remains open. *)
 
 val process_rules : t -> outcome
 (** Section 5.3 triggering point: complete the current external
     transition, run rules to quiescence, and (on success) begin a new
     transition within the same transaction.  [Rolled_back] means a
-    rollback action fired and the whole transaction was undone. *)
+    rollback action fired and the whole transaction was undone.
+
+    Exception safety: any error raised during rule processing aborts
+    the whole transaction — the database, pending effect, transition
+    information and transition-start snapshot are restored to the
+    transaction-start state, an {!Ev_abort} event is recorded and the
+    abort counted in {!stats} — before the error is re-raised. *)
 
 val commit : t -> outcome
-(** Process rules, then commit and close the transaction. *)
+(** Process rules, then commit and close the transaction.  Shares the
+    abort-on-error contract of {!process_rules}: an error anywhere
+    before the transaction closes restores the exact transaction-start
+    state. *)
 
 val rollback_txn : t -> unit
 (** Abort the open transaction, restoring its start state. *)
@@ -124,7 +152,9 @@ val rollback_txn : t -> unit
 val execute_block : t -> Ast.op list -> outcome * Eval.relation list
 (** The paper's default behaviour: one externally-generated operation
     block executed as one transaction with rule processing before
-    commit.  Any error aborts and rolls back before re-raising. *)
+    commit.  Any error aborts the transaction — restoring the exact
+    pre-transaction state and recording the abort — before
+    re-raising. *)
 
 (** {2 Queries and DDL} *)
 

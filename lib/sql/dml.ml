@@ -281,6 +281,10 @@ let select_read_set resolve db (s : Ast.select) =
 
 let exec_op ?(track_selects = false) ?(optimize = true) ?access resolve db
     (op : Ast.op) : op_result =
+  (* exception-safety injection site: an operation may fail before
+     touching the database, and the caller must treat the containing
+     block as indivisible either way *)
+  Fault.hit Fault.Dml_op;
   (* one uncorrelated-subquery cache per operation: the database state
      is fixed while the operation identifies its tuples *)
   let cache = if optimize then Some (Eval.make_cache ()) else None in

@@ -1057,6 +1057,10 @@ let make_context ?cache ?access resolve =
   { resolve; group = None; cache; watches = []; access }
 
 let eval_select ?cache ?access ?(outer = empty_env) resolve s =
+  (* exception-safety injection site: only the public entry, so the hit
+     count per operation stays bounded (subqueries recurse through
+     [eval_select_inner] directly) *)
+  Fault.hit Fault.Query_eval;
   eval_select_inner (make_context ?cache ?access resolve) outer s
 
 let eval_expr_in ?cache ?access ?(outer = empty_env) resolve env e =

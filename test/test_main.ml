@@ -24,5 +24,6 @@ let () =
       ("interplay", Test_interplay.suite);
       ("properties", Test_properties.suite);
       ("index-equivalence", Test_index_equivalence.suite);
+    ("fault-injection", Test_fault_injection.suite);
       ("config-matrix", Test_config_matrix.suite);
     ]
