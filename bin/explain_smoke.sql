@@ -1,0 +1,22 @@
+create table emp (name string, emp_no int primary key, salary float);
+create table audit_log (name string, salary float);
+create index emp_no_ix on emp (emp_no);
+create index emp_salary_ix on emp (salary);
+insert into emp values ('ada', 1, 100.0), ('bob', 2, 200.0), ('cyd', 3, 300.0);
+explain select * from emp where emp_no = 2;
+explain select name from emp where salary = 200.0;
+explain delete from emp where emp_no in (1, 2);
+explain update emp set salary = salary + 1.0 where name = 'ada';
+explain insert into audit_log values ('x', 0.0);
+create rule audit
+when deleted from emp
+if exists (select * from deleted emp where salary > 100.0)
+then insert into audit_log select name, salary from deleted emp;;
+explain rule audit;
+.trace on
+delete from emp where emp_no = 3;
+.trace
+.trace dump -
+.report
+select name from emp order by emp_no;
+.q

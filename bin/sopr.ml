@@ -7,10 +7,14 @@
      sopr -f s.sql -i     execute a script, then go interactive
      sopr -e "sql"        execute one statement and exit
 
-   Statements end with ';'.  Meta-commands in interactive mode:
+   Statements end with ';'.  Meta-commands in interactive mode (either
+   '\' or '.' prefix):
      \q            quit
      \analyze      print the static rule analysis report
      \stats        print engine statistics
+     \trace ...    rule-execution tracing (on/off/print/dump FILE)
+     \clock ...    wall-clock timing for traces and the rule report
+     \report       per-rule metrics report
      \help         this list *)
 
 open Core
@@ -57,20 +61,58 @@ let print_analysis system =
   Format.printf "%a@." Analysis.pp_report (System.analyze system)
 
 let print_trace system =
-  let events = Engine.trace (System.engine system) in
-  if events = [] then
+  let timed = Engine.timed_trace (System.engine system) in
+  if timed = [] then
     print_endline
       "(no trace recorded; \\trace on enables tracing for later transactions)"
-  else List.iter (fun ev -> Format.printf "  %a@." Engine.pp_event ev) events
+  else
+    List.iter
+      (fun (stamp, ev) ->
+        match stamp with
+        | None -> Format.printf "  %a@." Engine.pp_event ev
+        | Some ts -> Format.printf "  [%.6f] %a@." ts Engine.pp_event ev)
+      timed
+
+let dump_trace system target =
+  let jsonl = Engine.trace_jsonl (System.engine system) in
+  if target = "-" then print_string jsonl
+  else begin
+    Out_channel.with_open_text target (fun oc ->
+        Out_channel.output_string oc jsonl);
+    Printf.printf "trace written to %s\n" target
+  end
+
+let print_report system =
+  let rows = Engine.rule_report (System.engine system) in
+  if rows = [] then print_endline "(no rule activity recorded)"
+  else begin
+    let with_time = Engine.has_clock (System.engine system) in
+    Printf.printf "%-20s %10s %8s %12s %12s %8s\n" "rule" "considered" "fired"
+      "cond_s" "action_s" "tuples";
+    List.iter
+      (fun r ->
+        let seconds s = if with_time then Printf.sprintf "%.6f" s else "-" in
+        Printf.printf "%-20s %10d %8d %12s %12s %8d\n" r.Engine.rr_rule
+          r.Engine.rr_considered r.Engine.rr_fired
+          (seconds r.Engine.rr_cond_seconds)
+          (seconds r.Engine.rr_action_seconds)
+          r.Engine.rr_effect_tuples)
+      rows;
+    if not with_time then
+      print_endline "(times not collected; \\clock on enables timing)"
+  end
 
 let help_text =
-  "meta-commands:\n\
-   \\q          quit\n\
-   \\analyze    static rule analysis (may-trigger graph, loops, conflicts)\n\
-   \\stats      engine statistics\n\
-   \\trace      print the last transaction's rule-execution trace\n\
-   \\trace on   enable tracing (\\trace off disables)\n\
-   \\help       this message\n\
+  "meta-commands ('\\' and '.' prefixes are equivalent):\n\
+   \\q               quit\n\
+   \\analyze         static rule analysis (may-trigger graph, loops, conflicts)\n\
+   \\stats           engine statistics\n\
+   \\trace           print the last transaction's rule-execution trace\n\
+   \\trace on        enable tracing (\\trace off disables)\n\
+   \\trace dump F    write the trace as JSON Lines to file F ('-' = stdout)\n\
+   \\clock on        timestamp traces and time rules (\\clock off disables)\n\
+   \\report          per-rule metrics (considered/fired/times/effect tuples)\n\
+   \\help            this message\n\
    Everything else is SQL; statements end with ';'."
 
 (* Read statements until a line ends (trimmed) with ';' or a
@@ -86,21 +128,37 @@ let interactive system =
     | None -> print_newline ()
     | Some line ->
       let trimmed = String.trim line in
-      if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+      if
+        Buffer.length buf = 0
+        && String.length trimmed > 0
+        && (trimmed.[0] = '\\' || trimmed.[0] = '.')
       then begin
-        (match trimmed with
-        | "\\q" | "\\quit" -> raise Exit
-        | "\\analyze" -> print_analysis system
-        | "\\stats" -> print_stats system
-        | "\\trace" -> print_trace system
-        | "\\trace on" ->
+        let words =
+          String.sub trimmed 1 (String.length trimmed - 1)
+          |> String.split_on_char ' '
+          |> List.filter (fun w -> w <> "")
+        in
+        (match words with
+        | [ "q" ] | [ "quit" ] -> raise Exit
+        | [ "analyze" ] -> print_analysis system
+        | [ "stats" ] -> print_stats system
+        | [ "trace" ] -> print_trace system
+        | [ "trace"; "on" ] ->
           Engine.set_tracing (System.engine system) true;
           print_endline "tracing enabled"
-        | "\\trace off" ->
+        | [ "trace"; "off" ] ->
           Engine.set_tracing (System.engine system) false;
           print_endline "tracing disabled"
-        | "\\help" -> print_endline help_text
-        | other -> Printf.printf "unknown meta-command %s\n" other);
+        | [ "trace"; "dump"; target ] -> dump_trace system target
+        | [ "clock"; "on" ] ->
+          Engine.set_clock (System.engine system) (Some Unix.gettimeofday);
+          print_endline "clock enabled"
+        | [ "clock"; "off" ] ->
+          Engine.set_clock (System.engine system) None;
+          print_endline "clock disabled"
+        | [ "report" ] -> print_report system
+        | [ "help" ] -> print_endline help_text
+        | _ -> Printf.printf "unknown meta-command %s\n" trimmed);
         loop ()
       end
       else begin

@@ -177,6 +177,35 @@ module System = struct
           (List.map (fun r -> Fmt.str "%a" Rules.Rule.pp r) (Engine.rules eng))
       in
       Msg (if text = "" then "(no rules)" else text)
+    | Ast.Stmt_explain (Ast.Explain_op op) ->
+      let plans = Engine.explain_op eng op in
+      let header = Printf.sprintf "explain %s" (Pretty.op_str op) in
+      let body =
+        match plans with
+        | [] -> [ "  (no table access)" ]
+        | plans ->
+          List.map (fun p -> "  " ^ Eval.describe_source_plan p) plans
+      in
+      Msg (String.concat "\n" (header :: body))
+    | Ast.Stmt_explain (Ast.Explain_rule name) ->
+      let plans = Engine.explain_rule eng name in
+      let header =
+        Printf.sprintf "explain rule %s (condition under empty transition tables)"
+          name
+      in
+      let body =
+        match plans with
+        | [] -> [ "  (no condition)" ]
+        | plans ->
+          List.concat_map
+            (fun (sql, sources) ->
+              Printf.sprintf "  condition select: %s" sql
+              :: List.map
+                   (fun p -> "    " ^ Eval.describe_source_plan p)
+                   sources)
+            plans
+      in
+      Msg (String.concat "\n" (header :: body))
     | Ast.Stmt_describe name ->
       let schema = Database.schema (Engine.database eng) name in
       Relation

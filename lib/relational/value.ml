@@ -203,13 +203,15 @@ let to_float = function
 let to_string = function
   | Null -> "NULL"
   | Int x -> string_of_int x
+  | Float x when Float.is_nan x -> "nan"
+  | Float x when x = Float.infinity -> "infinity"
+  | Float x when x = Float.neg_infinity -> "-infinity"
   | Float x ->
-    (* Print floats so they read back as floats. *)
+    (* Print finite floats so they read back as floats; non-finite ones
+       use the grammar's NAN / INFINITY literal spellings above (the
+       bare "nan"/"inf" of %g does not lex). *)
     let s = Printf.sprintf "%.12g" x in
-    if String.contains s '.' || String.contains s 'e'
-       || String.contains s 'n' (* nan/inf *)
-    then s
-    else s ^ "."
+    if String.contains s '.' || String.contains s 'e' then s else s ^ "."
   | Str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
   | Bool b -> if b then "TRUE" else "FALSE"
 

@@ -70,6 +70,29 @@ type event =
       (* an error aborted the transaction; its effects were undone *)
   | Ev_quiescent
 
+(* Per-rule metrics (Section 6 tooling): how often a rule was selected
+   for consideration, how often its action ran, how much wall time its
+   condition evaluations and actions consumed, and the cumulative size
+   of its actions' effects.  Counts are always maintained; wall times
+   only when a clock hook is installed, so the default configuration
+   pays no timing cost. *)
+type metrics = {
+  mutable m_considered : int;
+  mutable m_fired : int;
+  mutable m_cond_seconds : float;
+  mutable m_action_seconds : float;
+  mutable m_effect_tuples : int;
+}
+
+type rule_report_row = {
+  rr_rule : string;
+  rr_considered : int;
+  rr_fired : int;
+  rr_cond_seconds : float;
+  rr_action_seconds : float;
+  rr_effect_tuples : int;
+}
+
 type t = {
   mutable db : Database.t;
   mutable rules : Rule.t list; (* creation order *)
@@ -89,7 +112,13 @@ type t = {
   procedures : Procedures.registry;
   stats : stats;
   mutable tracing : bool;
-  mutable trace : event list; (* newest first while accumulating *)
+  mutable trace : (float option * event) list;
+      (* newest first while accumulating; stamped with the wall clock
+         when one is installed *)
+  mutable wall_clock : (unit -> float) option;
+      (* monotonic-seconds hook for trace timestamps and rule timing;
+         [None] (the default) disables all timing *)
+  rule_metrics : (string, metrics) Hashtbl.t;
 }
 
 let log_src = Logs.Src.create "sopr.engine" ~doc:"rule engine execution"
@@ -124,6 +153,8 @@ let create ?(config = default_config) db =
       };
     tracing = false;
     trace = [];
+    wall_clock = None;
+    rule_metrics = Hashtbl.create 16;
   }
 
 let database t = t.db
@@ -151,11 +182,66 @@ let access_for t db : Eval.access =
       (fun ~table:_ -> function
         | `Seq_scan -> t.stats.seq_scans <- t.stats.seq_scans + 1
         | `Index_probe -> t.stats.index_probes <- t.stats.index_probes + 1);
+    acc_index =
+      (fun ~table ~column ->
+        List.find_map
+          (fun (t', ix) ->
+            if String.equal t' table && String.equal (Index.column ix) column
+            then Some (Index.name ix)
+            else None)
+          (Database.indexes db));
+    acc_count =
+      (fun ~table ->
+        if Database.has_table db table then
+          Some (Table.cardinality (Database.table db table))
+        else None);
   }
 let in_transaction t = Option.is_some t.txn_start
 let set_tracing t on = t.tracing <- on
-let trace t = List.rev t.trace
-let record t ev = if t.tracing then t.trace <- ev :: t.trace
+let set_clock t clock = t.wall_clock <- clock
+let has_clock t = Option.is_some t.wall_clock
+let trace t = List.rev_map snd t.trace
+let timed_trace t = List.rev t.trace
+
+let record t ev =
+  if t.tracing then
+    let stamp =
+      match t.wall_clock with None -> None | Some now -> Some (now ())
+    in
+    t.trace <- (stamp, ev) :: t.trace
+
+let metrics_for t name =
+  match Hashtbl.find_opt t.rule_metrics name with
+  | Some m -> m
+  | None ->
+    let m =
+      {
+        m_considered = 0;
+        m_fired = 0;
+        m_cond_seconds = 0.0;
+        m_action_seconds = 0.0;
+        m_effect_tuples = 0;
+      }
+    in
+    Hashtbl.add t.rule_metrics name m;
+    m
+
+(* Time a thunk against the rule clock, charging the elapsed wall time
+   through [charge] even when the thunk raises (a failing condition or
+   action still consumed the time).  Without a clock this is just the
+   call. *)
+let timed t charge f =
+  match t.wall_clock with
+  | None -> f ()
+  | Some now -> (
+    let t0 = now () in
+    match f () with
+    | v ->
+      charge (now () -. t0);
+      v
+    | exception e ->
+      charge (now () -. t0);
+      raise e)
 
 let pp_event ppf = function
   | Ev_external { effect_size } ->
@@ -168,6 +254,83 @@ let pp_event ppf = function
   | Ev_rollback { rule } -> Fmt.pf ppf "rollback by %s" rule
   | Ev_abort { reason } -> Fmt.pf ppf "transaction aborted: %s" reason
   | Ev_quiescent -> Fmt.string ppf "quiescent"
+
+(* Report rows in rule-creation order, so the report is stable across
+   runs regardless of hash-table iteration order.  Rules dropped since
+   their metrics accumulated are omitted (drop_rule clears them). *)
+let rule_report t =
+  List.filter_map
+    (fun r ->
+      match Hashtbl.find_opt t.rule_metrics r.Rule.name with
+      | None -> None
+      | Some m ->
+        Some
+          {
+            rr_rule = r.Rule.name;
+            rr_considered = m.m_considered;
+            rr_fired = m.m_fired;
+            rr_cond_seconds = m.m_cond_seconds;
+            rr_action_seconds = m.m_action_seconds;
+            rr_effect_tuples = m.m_effect_tuples;
+          })
+    t.rules
+
+(* JSONL trace export: one JSON object per event, oldest first.  The
+   encoder is hand-rolled (the toolchain has no JSON library) but emits
+   standards-compliant output: strings are escaped, the timestamp field
+   is omitted entirely when no clock is installed so traces taken with
+   timing off are byte-deterministic. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let trace_jsonl t =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i (stamp, ev) ->
+      Buffer.add_string buf (Printf.sprintf "{\"seq\":%d" i);
+      (match stamp with
+      | None -> ()
+      | Some ts -> Buffer.add_string buf (Printf.sprintf ",\"t\":%.6f" ts));
+      let field name value =
+        Buffer.add_string buf (Printf.sprintf ",%s:%s" (json_string name) value)
+      in
+      (match ev with
+      | Ev_external { effect_size } ->
+        field "event" (json_string "external");
+        field "effect_size" (string_of_int effect_size)
+      | Ev_considered { rule; condition_held } ->
+        field "event" (json_string "considered");
+        field "rule" (json_string rule);
+        field "condition_held" (string_of_bool condition_held)
+      | Ev_fired { rule; effect_size } ->
+        field "event" (json_string "fired");
+        field "rule" (json_string rule);
+        field "effect_size" (string_of_int effect_size)
+      | Ev_rollback { rule } ->
+        field "event" (json_string "rollback");
+        field "rule" (json_string rule)
+      | Ev_abort { reason } ->
+        field "event" (json_string "abort");
+        field "reason" (json_string reason)
+      | Ev_quiescent -> field "event" (json_string "quiescent"));
+      Buffer.add_string buf "}\n")
+    (timed_trace t);
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Catalog operations                                                  *)
@@ -210,7 +373,8 @@ let drop_rule t name =
   ignore (get_rule t name);
   t.rules <- List.filter (fun r -> not (String.equal r.Rule.name name)) t.rules;
   t.infos <- Str_map.remove name t.infos;
-  t.priorities <- Priority.remove_rule t.priorities name
+  t.priorities <- Priority.remove_rule t.priorities name;
+  Hashtbl.remove t.rule_metrics name
 
 let set_rule_active t name active =
   let rule = get_rule t name in
@@ -391,6 +555,8 @@ let process_rules_exn t =
       let info = info_of t rule.Rule.name in
       let resolve = Transition_tables.resolver info t.db in
       t.stats.conditions_evaluated <- t.stats.conditions_evaluated + 1;
+      let m = metrics_for t rule.Rule.name in
+      m.m_considered <- m.m_considered + 1;
       let cond_holds =
         match Rule.condition rule with
         | None -> true
@@ -399,7 +565,11 @@ let process_rules_exn t =
           let cache =
             if t.config.optimize then Some (Eval.make_cache ()) else None
           in
-          Eval.eval_predicate ?cache ~access:(access_for t t.db) resolve [] cond
+          timed t
+            (fun dt -> m.m_cond_seconds <- m.m_cond_seconds +. dt)
+            (fun () ->
+              Eval.eval_predicate ?cache ~access:(access_for t t.db) resolve []
+                cond)
       in
       record t (Ev_considered { rule = rule.Rule.name; condition_held = cond_holds });
       Log.debug (fun m ->
@@ -424,12 +594,19 @@ let process_rules_exn t =
         t.stats.transitions <- t.stats.transitions + 1;
         let old_db = t.db in
         Fault.hit Fault.Rule_action;
-        let ops = action_block t rule resolve in
         (* the action's transition tables are based on the acting
            rule's information and the evolving current state *)
         let eff, _ =
-          run_ops t ~resolver_of:(fun db -> Transition_tables.resolver info db) ops
+          timed t
+            (fun dt -> m.m_action_seconds <- m.m_action_seconds +. dt)
+            (fun () ->
+              let ops = action_block t rule resolve in
+              run_ops t
+                ~resolver_of:(fun db -> Transition_tables.resolver info db)
+                ops)
         in
+        m.m_fired <- m.m_fired + 1;
+        m.m_effect_tuples <- m.m_effect_tuples + Effect.cardinality eff;
         record t
           (Ev_fired { rule = rule.Rule.name; effect_size = Effect.cardinality eff });
         Log.debug (fun m ->
@@ -522,6 +699,60 @@ let execute_block t (ops : Ast.op list) =
 (* Evaluate a query outside any rule context. *)
 let query t (s : Ast.select) =
   Eval.eval_select ~access:(access_for t t.db) (external_resolver t.db) s
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+
+(* Planning must not perturb the engine's scan/probe statistics: it is
+   the same access record with the note hook silenced. *)
+let explain_access t db : Eval.access =
+  { (access_for t db) with Eval.acc_note = (fun ~table:_ _ -> ()) }
+
+let explain_op t (op : Ast.op) =
+  Eval.plan_op ~access:(explain_access t t.db) (external_resolver t.db) op
+
+(* Collect the outermost embedded selects of a condition expression —
+   the units the evaluator plans independently.  Sub-selects nested
+   inside a collected select are planned (and shown) as part of it. *)
+let rec embedded_selects (e : Ast.expr) : Ast.select list =
+  match e with
+  | Ast.Lit _ | Ast.Col _ -> []
+  | Ast.Neg e | Ast.Not e | Ast.Is_null e | Ast.Is_not_null e ->
+    embedded_selects e
+  | Ast.Binop (_, a, b)
+  | Ast.Cmp (_, a, b)
+  | Ast.And (a, b)
+  | Ast.Or (a, b)
+  | Ast.Like (a, b) ->
+    embedded_selects a @ embedded_selects b
+  | Ast.Between (a, b, c) ->
+    embedded_selects a @ embedded_selects b @ embedded_selects c
+  | Ast.In_list (e, es) | Ast.Not_in_list (e, es) ->
+    embedded_selects e @ List.concat_map embedded_selects es
+  | Ast.In_select (e, s) | Ast.Not_in_select (e, s) ->
+    embedded_selects e @ [ s ]
+  | Ast.Exists s | Ast.Scalar_select s -> [ s ]
+  | Ast.Agg (_, e) -> ( match e with None -> [] | Some e -> embedded_selects e)
+  | Ast.Fn (_, es) -> List.concat_map embedded_selects es
+  | Ast.Case (arms, else_) ->
+    List.concat_map (fun (c, v) -> embedded_selects c @ embedded_selects v) arms
+    @ (match else_ with None -> [] | Some e -> embedded_selects e)
+
+(* Plan a rule's condition as it would be evaluated at a rule
+   processing point.  The condition is planned under empty transition
+   information: transition tables materialize as empty relations while
+   base tables keep their current contents, so the base-table access
+   paths shown are the ones condition evaluation would actually use. *)
+let explain_rule t name =
+  let rule = get_rule t name in
+  match Rule.condition rule with
+  | None -> []
+  | Some cond ->
+    let access = explain_access t t.db in
+    let resolve = Transition_tables.resolver Trans_info.empty t.db in
+    List.map
+      (fun s -> (Sqlf.Pretty.select_str s, Eval.plan_select ~access resolve s))
+      (embedded_selects cond)
 
 (* DDL is not part of the transition model: it applies outside
    transactions. *)

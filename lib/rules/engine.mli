@@ -73,6 +73,18 @@ type event =
           and the exact transaction-start state restored *)
   | Ev_quiescent
 
+(** Immutable snapshot of one rule's accumulated metrics (Section 6
+    tooling).  Counts are always maintained; the wall-time fields stay
+    [0.] until a clock is installed with {!set_clock}. *)
+type rule_report_row = {
+  rr_rule : string;
+  rr_considered : int;  (** times selected for consideration *)
+  rr_fired : int;  (** times the action ran *)
+  rr_cond_seconds : float;  (** cumulative condition-evaluation time *)
+  rr_action_seconds : float;  (** cumulative action time *)
+  rr_effect_tuples : int;  (** cumulative size of the action effects *)
+}
+
 type t
 
 val create : ?config:config -> Database.t -> t
@@ -90,8 +102,31 @@ val in_transaction : t -> bool
 val set_tracing : t -> bool -> unit
 (** Enable per-transaction execution traces (off by default). *)
 
+val set_clock : t -> (unit -> float) option -> unit
+(** Install (or remove) the wall-clock hook — monotonic seconds, e.g.
+    [Unix.gettimeofday] — used to timestamp trace events and accumulate
+    per-rule condition/action times.  [None] (the default) disables all
+    timing: no clock reads happen anywhere on the execution path. *)
+
+val has_clock : t -> bool
+
 val trace : t -> event list
 (** The trace of the most recent transaction, oldest event first. *)
+
+val timed_trace : t -> (float option * event) list
+(** Like {!trace}, with each event's clock stamp ([None] when no clock
+    was installed at record time). *)
+
+val trace_jsonl : t -> string
+(** The trace rendered as JSON Lines, one object per event, oldest
+    first: [{"seq":N,"t":...,"event":"fired","rule":...,...}].  The
+    ["t"] field is omitted when no clock was installed, making
+    clock-off traces byte-deterministic. *)
+
+val rule_report : t -> rule_report_row list
+(** Accumulated per-rule metrics, in rule-creation order.  Metrics
+    persist across transactions (they are lifetime counters, like
+    {!stats}); dropped rules disappear from the report. *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -160,6 +195,22 @@ val execute_block : t -> Ast.op list -> outcome * Eval.relation list
 
 val query : t -> Ast.select -> Eval.relation
 (** Evaluate a query outside any rule context (no transition tables). *)
+
+(** {2 EXPLAIN} *)
+
+val explain_op : t -> Ast.op -> Eval.source_plan list
+(** Plan a DML operation without executing it, using exactly the
+    executor's access-path decision procedure (see {!Eval.plan_op}).
+    Planning never mutates the database and does not perturb the
+    scan/probe statistics. *)
+
+val explain_rule : t -> string -> (string * Eval.source_plan list) list
+(** Plan a rule's condition as it would be evaluated at a rule
+    processing point: one entry per outermost embedded select of the
+    condition, paired with its rendered source text.  Transition tables
+    are taken as empty (no transition has occurred) while base tables
+    keep their current contents.  Empty for a condition-less rule;
+    raises [Unknown_rule] for an unknown name. *)
 
 val create_table : t -> Schema.table -> unit
 (** DDL applies outside transactions only. *)

@@ -17,22 +17,34 @@ let empty = { before = Str_map.empty }
 let successors t name =
   Option.value (Str_map.find_opt name t.before) ~default:Str_set.empty
 
+(* Step counter of the most recent [find_path] search (one step per
+   node expansion).  Exposed so the regression tests can bound the
+   search cost structurally instead of by wall time. *)
+let search_steps = ref 0
+
 (* Path from [src] to [dst] following the before-relation, if any;
-   used both for cycle detection and for reporting the cycle. *)
+   used both for cycle detection and for reporting the cycle.
+
+   The visited set is threaded through the fold — each node is expanded
+   at most once across the whole search.  Copying the set into each
+   branch instead would re-explore shared suffixes, making diamond-
+   shaped DAGs exponential. *)
 let find_path t src dst =
+  search_steps := 0;
   let rec dfs visited path node =
-    if String.equal node dst then Some (List.rev (node :: path))
-    else if Str_set.mem node visited then None
+    incr search_steps;
+    if String.equal node dst then (visited, Some (List.rev (node :: path)))
+    else if Str_set.mem node visited then (visited, None)
     else
       let visited = Str_set.add node visited in
       Str_set.fold
-        (fun next acc ->
-          match acc with
-          | Some _ -> acc
+        (fun next (visited, found) ->
+          match found with
+          | Some _ -> (visited, found)
           | None -> dfs visited (node :: path) next)
-        (successors t node) None
+        (successors t node) (visited, None)
   in
-  dfs Str_set.empty [] src
+  snd (dfs Str_set.empty [] src)
 
 let declare t ~high ~low =
   if String.equal high low then

@@ -22,3 +22,11 @@ val pairs : t -> (string * string) list
 
 val remove_rule : t -> string -> t
 (** Drop every pair mentioning the rule; used when a rule is dropped. *)
+
+val search_steps : int ref
+(** Node expansions performed by the most recent path search inside
+    {!declare} or {!higher} — each graph node is expanded at most once,
+    so the count is bounded by nodes + edges.  Exposed for the
+    regression tests, which guard against the exponential re-exploration
+    a copied (rather than threaded) visited set used to cause on
+    diamond-shaped DAGs. *)

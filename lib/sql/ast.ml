@@ -140,6 +140,11 @@ type create_table = {
   ct_constraints : table_constraint list;
 }
 
+(* EXPLAIN renders the access-path decisions (scan vs index probe) the
+   executor would take, without executing.  The rule form explains the
+   selects embedded in a named rule's condition. *)
+type explain_target = Explain_op of op | Explain_rule of string
+
 type statement =
   | Stmt_create_table of create_table
   | Stmt_drop_table of string
@@ -162,6 +167,7 @@ type statement =
   | Stmt_show_tables
   | Stmt_show_rules
   | Stmt_describe of string
+  | Stmt_explain of explain_target
 
 (* ------------------------------------------------------------------ *)
 (* Structural helpers used by the rule engine and static analysis.    *)

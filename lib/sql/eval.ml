@@ -138,6 +138,8 @@ type access = {
     Value.t list ->
     (Handle.t * Row.t) list option;
   acc_note : table:string -> [ `Seq_scan | `Index_probe ] -> unit;
+  acc_index : table:string -> column:string -> string option;
+  acc_count : table:string -> int option;
 }
 
 (* Equality-predicate pushdown into index probes; mutable only so the
@@ -706,6 +708,16 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
    probe values match nothing, as SQL equality requires. *)
 and probe_source ctx (outer : env) ~frame ~target_name ~table
     (where : Ast.expr option) : (Handle.t * Row.t) list option =
+  Option.map
+    (fun (_, _, pairs) -> pairs)
+    (probe_plan ctx outer ~frame ~target_name ~table where)
+
+(* Like [probe_source] but also reporting which column and which WHERE
+   conjunct satisfied the probe — the same decision procedure serves
+   both execution and EXPLAIN, so the two can never disagree. *)
+and probe_plan ctx (outer : env) ~frame ~target_name ~table
+    (where : Ast.expr option) :
+    (string * Ast.expr * (Handle.t * Row.t) list) option =
   match ctx.access, where with
   | None, _ | _, None -> None
   | Some access, Some pred ->
@@ -755,7 +767,10 @@ and probe_source ctx (outer : env) ~frame ~target_name ~table
           | Some (column, src) -> (
             match (try Some (values_of src) with _ -> None) with
             | None -> None
-            | Some values -> access.acc_probe ~table ~column values))
+            | Some values ->
+              Option.map
+                (fun pairs -> (column, conj, pairs))
+                (access.acc_probe ~table ~column values)))
         (conjuncts pred)
     end
 
@@ -1079,3 +1094,153 @@ let probe_table ?cache ~access resolve ~table ~bind_name ~cols where =
     empty_env
     ~frame:[ (bind_name, cols) ]
     ~target_name:bind_name ~table where
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN: access-path planning without execution                     *)
+
+(* The planning functions below re-run exactly the decision procedure
+   [from_row_envs] and the DML victim selection use — the same
+   [probe_plan] call with the same frame, binding name and WHERE clause
+   — but stop short of realizing the planned sources or mutating
+   anything.  [matches] counts the handles the probe returned (the rows
+   the executor would enumerate before residual filtering); [rows] is
+   the table's current cardinality, i.e. what a scan would read.
+   Probing evaluates the sargable conjunct's value side (possibly an
+   uncorrelated subquery), so planning can read — but never write —
+   the database.  Plans cover the top-level FROM sources of each select
+   core and the victim table of DELETE/UPDATE; tables touched only
+   inside predicate subqueries are not enumerated. *)
+
+type access_path =
+  | Seq_scan of { table : string; rows : int option }
+  | Index_probe of {
+      table : string;
+      index : string option;
+      column : string;
+      conjunct : string;
+      matches : int;
+      rows : int option;
+    }
+  | Materialized of { source : string; rows : int }
+
+type source_plan = { sp_binding : string; sp_path : access_path }
+
+let probed_path access ~table (column, conj, pairs) =
+  Index_probe
+    {
+      table;
+      index = access.acc_index ~table ~column;
+      column;
+      conjunct = Pretty.expr_str conj;
+      matches = List.length pairs;
+      rows = access.acc_count ~table;
+    }
+
+let plan_core ctx (outer : env) (s : Ast.select) : source_plan list =
+  let access =
+    match ctx.access with Some a -> a | None -> assert false
+  in
+  (* mirror of [from_row_envs]'s [resolve_item]: same binding names,
+     same lazy-vs-eager split *)
+  let resolve_item ix item =
+    let named rel =
+      match item.Ast.alias with
+      | Some a -> a
+      | None -> if rel.rel_name = "" then Printf.sprintf "$%d" ix else rel.rel_name
+    in
+    match item.Ast.source with
+    | Ast.Derived sub ->
+      let rel = eval_select_inner ctx outer sub in
+      (named rel, rel.cols, `Materialized ("derived table", List.length rel.rows))
+    | Ast.Base tbl_name -> (
+      match access.acc_cols ~table:tbl_name with
+      | Some cols ->
+        (Option.value item.Ast.alias ~default:tbl_name, cols, `Lazy tbl_name)
+      | None ->
+        (* unknown table: resolving raises the same error execution
+           would *)
+        let rel = ctx.resolve item.Ast.source in
+        (named rel, rel.cols, `Materialized ("table " ^ tbl_name, List.length rel.rows)))
+    | Ast.Transition tt as src ->
+      let rel = ctx.resolve src in
+      ( named rel,
+        rel.cols,
+        `Materialized
+          ("transition table " ^ Pretty.trans_table_str tt, List.length rel.rows) )
+  in
+  let sources = List.mapi resolve_item s.Ast.from in
+  let names = List.map (fun (n, _, _) -> n) sources in
+  let rec check = function
+    | [] -> ()
+    | n :: rest ->
+      if List.exists (String.equal n) rest then
+        Errors.semantic "duplicate table name %S in from clause; use an alias" n;
+      check rest
+  in
+  check names;
+  let frame = List.map (fun (n, cols, _) -> (n, cols)) sources in
+  List.map
+    (fun (name, _cols, kind) ->
+      let path =
+        match kind with
+        | `Materialized (what, n) -> Materialized { source = what; rows = n }
+        | `Lazy table -> (
+          match
+            probe_plan ctx outer ~frame ~target_name:name ~table s.Ast.where
+          with
+          | Some hit -> probed_path access ~table hit
+          | None -> Seq_scan { table; rows = access.acc_count ~table })
+      in
+      { sp_binding = name; sp_path = path })
+    sources
+
+let plan_select_inner ctx outer (s : Ast.select) =
+  let cores = { s with Ast.compounds = [] } :: List.map snd s.Ast.compounds in
+  List.concat_map (plan_core ctx outer) cores
+
+let plan_select ?cache ~access resolve s =
+  plan_select_inner (make_context ?cache ~access resolve) empty_env s
+
+let plan_op ?cache ~access resolve (op : Ast.op) : source_plan list =
+  let ctx = make_context ?cache ~access resolve in
+  match op with
+  | Ast.Select_op s -> plan_select_inner ctx empty_env s
+  | Ast.Insert { source = `Select s; _ } -> plan_select_inner ctx empty_env s
+  | Ast.Insert { source = `Values _; _ } -> []
+  | Ast.Delete { table; where } | Ast.Update { table; where; _ } ->
+    (* mirror of the DML layer's victim selection (see
+       [Dml.selected_handles]): the table is bound under its own name *)
+    let cols =
+      match access.acc_cols ~table with
+      | Some cols -> cols
+      | None -> (ctx.resolve (Ast.Base table)).cols
+    in
+    let path =
+      match
+        probe_plan ctx empty_env
+          ~frame:[ (table, cols) ]
+          ~target_name:table ~table where
+      with
+      | Some hit -> probed_path access ~table hit
+      | None -> Seq_scan { table; rows = access.acc_count ~table }
+    in
+    [ { sp_binding = table; sp_path = path } ]
+
+let describe_access_path = function
+  | Seq_scan { table; rows } ->
+    let r =
+      match rows with Some n -> Printf.sprintf " (%d rows)" n | None -> ""
+    in
+    Printf.sprintf "seq scan of %s%s" table r
+  | Index_probe { table; index; column; conjunct; matches; rows } ->
+    let ix = match index with Some i -> i | None -> "<unnamed index>" in
+    let total =
+      match rows with Some n -> Printf.sprintf " of %d" n | None -> ""
+    in
+    Printf.sprintf "index probe of %s via %s on %s, conjunct %s: %d%s rows"
+      table ix column conjunct matches total
+  | Materialized { source; rows } ->
+    Printf.sprintf "materialized %s (%d rows)" source rows
+
+let describe_source_plan { sp_binding; sp_path } =
+  Printf.sprintf "%s: %s" sp_binding (describe_access_path sp_path)

@@ -82,6 +82,12 @@ type access = {
   acc_note : table:string -> [ `Seq_scan | `Index_probe ] -> unit;
       (** called once per base-table access with the planner's
           scan-vs-probe decision, for EXPLAIN-style statistics *)
+  acc_index : table:string -> column:string -> string option;
+      (** name of the index that [acc_probe] would use for this column,
+          if any; informational (EXPLAIN) only *)
+  acc_count : table:string -> int option;
+      (** current cardinality of a base table, without materializing
+          it; [None] for an unknown table *)
 }
 
 val predicate_pushdown : bool ref
@@ -125,3 +131,48 @@ val eval_predicate :
   bool
 (** Evaluate a predicate and collapse three-valued logic: [true] only
     when the predicate is definitely true. *)
+
+(** {2 EXPLAIN: access-path planning without execution}
+
+    The planners below run exactly the decision procedure the executor
+    uses — the same sargable-conjunct detection, independence analysis
+    and lazy-vs-eager split — but stop short of realizing the planned
+    sources or mutating anything.  Probing evaluates the sargable
+    conjunct's value side (possibly an uncorrelated subquery), so
+    planning reads — but never writes — the database.  Plans cover the
+    top-level FROM sources of each select core and the victim table of
+    DELETE/UPDATE; tables touched only inside predicate subqueries are
+    not enumerated. *)
+
+type access_path =
+  | Seq_scan of { table : string; rows : int option }
+      (** full scan; [rows] is the table's current cardinality *)
+  | Index_probe of {
+      table : string;
+      index : string option;  (** probing index's name, when known *)
+      column : string;  (** the indexed column *)
+      conjunct : string;  (** rendered sargable conjunct *)
+      matches : int;  (** handles the probe returned *)
+      rows : int option;  (** table cardinality, for selectivity *)
+    }
+  | Materialized of { source : string; rows : int }
+      (** eagerly realized source: derived table, transition table, or
+          a table the access hooks don't cover *)
+
+type source_plan = { sp_binding : string; sp_path : access_path }
+
+val plan_select :
+  ?cache:cache -> access:access -> resolver -> Ast.select -> source_plan list
+(** One plan per FROM source of each select core (compound arms
+    included), in from-list order. *)
+
+val plan_op :
+  ?cache:cache -> access:access -> resolver -> Ast.op -> source_plan list
+(** Plan any DML operation: selects and INSERT ... SELECT plan their
+    select; INSERT ... VALUES accesses no table; DELETE/UPDATE plan
+    their victim selection. *)
+
+val describe_access_path : access_path -> string
+val describe_source_plan : source_plan -> string
+(** One-line rendering, e.g.
+    ["emp: index probe of emp via emp_no_ix on emp_no, conjunct (emp_no = 2): 1 of 3 rows"]. *)

@@ -5,6 +5,20 @@ open Relational
 
 let wrong_arity name = Errors.type_error "wrong number of arguments to %s" name
 
+(* Convert an integral float to [Value.Int], rejecting values that have
+   no faithful representation: [int_of_float] maps NaN to 0 and
+   out-of-range floats to garbage.  OCaml's native int spans
+   [-2^62, 2^62); -2^62 is exactly representable as a float and valid,
+   while any float >= 2^62 (including infinity) is not. *)
+let int_bound = 4611686018427387904.0 (* 2^62 = -float_of_int min_int *)
+
+let checked_int name f =
+  if Float.is_nan f then
+    Errors.type_error "%s: cannot convert nan to an integer" name
+  else if f >= int_bound || f < -.int_bound then
+    Errors.type_error "%s: %g is outside the integer range" name f
+  else Value.Int (int_of_float f)
+
 let numeric1 name f_int f_float = function
   | [ Value.Null ] -> Value.Null
   | [ Value.Int n ] -> f_int n
@@ -37,24 +51,38 @@ let apply name (args : Value.t list) : Value.t =
   | "floor" ->
     numeric1 "floor"
       (fun n -> Value.Int n)
-      (fun f -> Value.Int (int_of_float (Float.floor f)))
+      (fun f -> checked_int "floor" (Float.floor f))
       args
   | "ceil" | "ceiling" ->
     numeric1 name
       (fun n -> Value.Int n)
-      (fun f -> Value.Int (int_of_float (Float.ceil f)))
+      (fun f -> checked_int name (Float.ceil f))
       args
   | "round" -> (
     match args with
     | [ v ] -> numeric1 "round" (fun n -> Value.Int n)
-                 (fun f -> Value.Int (int_of_float (Float.round f))) [ v ]
+                 (fun f -> checked_int "round" (Float.round f)) [ v ]
     | [ Value.Null; _ ] | [ _; Value.Null ] -> Value.Null
     | [ v; Value.Int digits ] -> (
-      match Value.to_float v with
-      | Some f ->
+      let rounded f =
         let scale = 10.0 ** float_of_int digits in
-        Value.Float (Float.round (f *. scale) /. scale)
-      | None -> Errors.type_error "round expects a numeric argument")
+        Float.round (f *. scale) /. scale
+      in
+      match v with
+      (* an Int input stays an Int, like the one-argument form *)
+      | Value.Int n ->
+        if digits >= 0 then Value.Int n
+        else
+          (* divide-then-multiply by the positive power of ten: the
+             multiply-by-0.1-style scale of the float path would put an
+             inexact division last and truncate 130 to 129 *)
+          let pow10 = 10.0 ** float_of_int (-digits) in
+          checked_int "round"
+            (Float.round (float_of_int n /. pow10) *. pow10)
+      | _ -> (
+        match Value.to_float v with
+        | Some f -> Value.Float (rounded f)
+        | None -> Errors.type_error "round expects a numeric argument"))
     | _ -> wrong_arity "round")
   | "upper" -> string1 "upper" (fun s -> Value.Str (String.uppercase_ascii s)) args
   | "lower" -> string1 "lower" (fun s -> Value.Str (String.lowercase_ascii s)) args

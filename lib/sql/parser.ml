@@ -201,6 +201,12 @@ and parse_primary st =
   | Token.Kw "FALSE" ->
     advance st;
     Ast.Lit (Value.Bool false)
+  | Token.Kw "NAN" ->
+    advance st;
+    Ast.Lit (Value.Float Float.nan)
+  | Token.Kw "INFINITY" ->
+    advance st;
+    Ast.Lit (Value.Float Float.infinity)
   | Token.Kw "EXISTS" ->
     advance st;
     expect_symbol st "(";
@@ -633,6 +639,12 @@ let parse_literal st =
   | Token.Kw "FALSE" ->
     advance st;
     Value.Bool false
+  | Token.Kw "NAN" ->
+    advance st;
+    Value.Float Float.nan
+  | Token.Kw "INFINITY" ->
+    advance st;
+    Value.Float Float.infinity
   | Token.Symbol "-" -> (
     advance st;
     match peek st with
@@ -642,6 +654,9 @@ let parse_literal st =
     | Token.Float_lit f ->
       advance st;
       Value.Float (-.f)
+    | Token.Kw "INFINITY" ->
+      advance st;
+      Value.Float Float.neg_infinity
     | _ -> error st "expected numeric literal")
   | _ -> error st "expected a literal"
 
@@ -829,6 +844,11 @@ let parse_statement st =
   | Token.Kw "DESCRIBE" ->
     advance st;
     Ast.Stmt_describe (expect_ident st "table name")
+  | Token.Kw "EXPLAIN" ->
+    advance st;
+    if accept_kw st "RULE" then
+      Ast.Stmt_explain (Ast.Explain_rule (expect_ident st "rule name"))
+    else Ast.Stmt_explain (Ast.Explain_op (parse_op st))
   | Token.Kw ("INSERT" | "DELETE" | "UPDATE" | "SELECT") ->
     Ast.Stmt_op (parse_op st)
   | _ -> error st "expected a statement"

@@ -212,3 +212,79 @@ let rule_def_str (r : Ast.rule_def) =
   Printf.sprintf "create rule %s\nwhen %s%s\nthen %s" r.rule_name
     (String.concat "\n  or " (List.map trans_pred_str r.trans_preds))
     cond (action_str r.action)
+
+(* ------------------------------------------------------------------ *)
+(* Whole statements                                                    *)
+
+let col_constraint_str = function
+  | Ast.C_not_null -> "not null"
+  | Ast.C_primary_key -> "primary key"
+  | Ast.C_unique -> "unique"
+  | Ast.C_default v -> "default " ^ Value.to_string v
+  | Ast.C_references (t, None) -> "references " ^ t
+  | Ast.C_references (t, Some c) -> Printf.sprintf "references %s (%s)" t c
+  | Ast.C_check e -> Printf.sprintf "check (%s)" (expr_str e)
+
+let table_constraint_str = function
+  | Ast.T_primary_key cols ->
+    Printf.sprintf "primary key (%s)" (String.concat ", " cols)
+  | Ast.T_unique cols -> Printf.sprintf "unique (%s)" (String.concat ", " cols)
+  | Ast.T_foreign_key { columns; parent; parent_columns; on_delete } ->
+    let pcols =
+      match parent_columns with
+      | None -> ""
+      | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs)
+    in
+    let od =
+      match on_delete with
+      (* `Restrict is the default and prints nothing, so it round-trips *)
+      | `Restrict -> ""
+      | `Cascade -> " on delete cascade"
+      | `Set_null -> " on delete set null"
+    in
+    Printf.sprintf "foreign key (%s) references %s%s%s"
+      (String.concat ", " columns) parent pcols od
+  | Ast.T_check e -> Printf.sprintf "check (%s)" (expr_str e)
+
+let create_table_str (ct : Ast.create_table) =
+  let col (cd : Ast.col_def) =
+    String.concat " "
+      (cd.Ast.cd_name
+       :: String.lowercase_ascii (Schema.col_type_name cd.Ast.cd_type)
+       :: List.map col_constraint_str cd.Ast.cd_constraints)
+  in
+  let items =
+    List.map col ct.Ast.ct_columns
+    @ List.map table_constraint_str ct.Ast.ct_constraints
+  in
+  Printf.sprintf "create table %s (%s)" ct.Ast.ct_name
+    (String.concat ", " items)
+
+let explain_target_str = function
+  | Ast.Explain_op op -> "explain " ^ op_str op
+  | Ast.Explain_rule name -> "explain rule " ^ name
+
+let statement_str = function
+  | Ast.Stmt_create_table ct -> create_table_str ct
+  | Ast.Stmt_drop_table name -> "drop table " ^ name
+  | Ast.Stmt_create_rule def -> rule_def_str def
+  | Ast.Stmt_drop_rule name -> "drop rule " ^ name
+  | Ast.Stmt_priority (high, low) ->
+    Printf.sprintf "create rule priority %s before %s" high low
+  | Ast.Stmt_activate name -> "activate rule " ^ name
+  | Ast.Stmt_deactivate name -> "deactivate rule " ^ name
+  | Ast.Stmt_op op -> op_str op
+  | Ast.Stmt_begin -> "begin"
+  | Ast.Stmt_commit -> "commit"
+  | Ast.Stmt_rollback -> "rollback"
+  | Ast.Stmt_process_rules -> "process rules"
+  | Ast.Stmt_create_assertion (name, e) ->
+    Printf.sprintf "create assertion %s check (%s)" name (expr_str e)
+  | Ast.Stmt_drop_assertion name -> "drop assertion " ^ name
+  | Ast.Stmt_create_index { ix_name; ix_table; ix_column } ->
+    Printf.sprintf "create index %s on %s (%s)" ix_name ix_table ix_column
+  | Ast.Stmt_drop_index name -> "drop index " ^ name
+  | Ast.Stmt_show_tables -> "show tables"
+  | Ast.Stmt_show_rules -> "show rules"
+  | Ast.Stmt_describe name -> "describe " ^ name
+  | Ast.Stmt_explain target -> explain_target_str target

@@ -18,3 +18,12 @@ val op_block_str : Ast.op_block -> string
 val trans_pred_str : Ast.basic_trans_pred -> string
 val action_str : Ast.action -> string
 val rule_def_str : Ast.rule_def -> string
+val col_constraint_str : Ast.col_constraint -> string
+val table_constraint_str : Ast.table_constraint -> string
+val create_table_str : Ast.create_table -> string
+val explain_target_str : Ast.explain_target -> string
+
+val statement_str : Ast.statement -> string
+(** Render any statement back to concrete syntax; the whole-statement
+    counterpart of {!op_str} used by EXPLAIN echoing and the statement
+    round-trip property. *)

@@ -1,0 +1,439 @@
+(* EXPLAIN and the observability layer.
+
+   The planner must tell the truth: the access path EXPLAIN names is
+   asserted against the executor's own scan/probe statistics, not
+   against a parallel re-implementation.  Also covered: EXPLAIN RULE,
+   trace timestamps, the JSONL exporter, per-rule metrics, and a qcheck
+   round-trip property over whole statements including EXPLAIN forms. *)
+
+open Core
+open Helpers
+
+let explained s sql =
+  match Parser.parse_statement_string sql with
+  | Ast.Stmt_explain (Ast.Explain_op op) ->
+    Engine.explain_op (System.engine s) op
+  | _ -> Alcotest.failf "expected an EXPLAIN statement: %s" sql
+
+let indexed_system () =
+  let s =
+    system
+      "create table emp (name string, emp_no int, salary float);\n\
+       create table audit_log (name string);\n\
+       create index emp_no_ix on emp (emp_no)"
+  in
+  run s "insert into emp values ('ada', 1, 100.0), ('bob', 2, 200.0), \
+         ('cyd', 3, 300.0)";
+  s
+
+(* ---- parsing and printing ---- *)
+
+let test_parse_explain () =
+  (match Parser.parse_statement_string "explain select * from emp" with
+  | Ast.Stmt_explain (Ast.Explain_op (Ast.Select_op _)) -> ()
+  | _ -> Alcotest.fail "explain select parse");
+  (match Parser.parse_statement_string "explain delete from emp where a = 1" with
+  | Ast.Stmt_explain (Ast.Explain_op (Ast.Delete _)) -> ()
+  | _ -> Alcotest.fail "explain delete parse");
+  (match Parser.parse_statement_string "explain rule audit" with
+  | Ast.Stmt_explain (Ast.Explain_rule "audit") -> ()
+  | _ -> Alcotest.fail "explain rule parse");
+  (* EXPLAIN is a statement, not an expression: it pretty-prints and
+     re-parses *)
+  let stmt = Parser.parse_statement_string "explain update emp set a = 1" in
+  Alcotest.(check bool) "pretty round trip" true
+    (Parser.parse_statement_string (Pretty.statement_str stmt) = stmt)
+
+(* ---- EXPLAIN vs the executor ---- *)
+
+(* For each statement: EXPLAIN first, count the scan/probe entries in
+   the plan, then execute the real statement and compare against the
+   deltas of the engine's own [seq_scans]/[index_probes] counters.  The
+   statements deliberately have no subqueries, so the top-level plan
+   accounts for every base-table access the executor makes. *)
+let test_explain_matches_executor () =
+  let s = indexed_system () in
+  let eng = System.engine s in
+  List.iter
+    (fun sql ->
+      let plans = explained s ("explain " ^ sql) in
+      let planned_scans =
+        List.length
+          (List.filter
+             (fun p ->
+               match p.Eval.sp_path with Eval.Seq_scan _ -> true | _ -> false)
+             plans)
+      in
+      let planned_probes =
+        List.length
+          (List.filter
+             (fun p ->
+               match p.Eval.sp_path with Eval.Index_probe _ -> true | _ -> false)
+             plans)
+      in
+      let st = Engine.stats eng in
+      let scans0 = st.Engine.seq_scans and probes0 = st.Engine.index_probes in
+      run s sql;
+      Alcotest.(check int)
+        (sql ^ ": seq scans")
+        planned_scans
+        (st.Engine.seq_scans - scans0);
+      Alcotest.(check int)
+        (sql ^ ": index probes")
+        planned_probes
+        (st.Engine.index_probes - probes0))
+    [
+      "select * from emp where emp_no = 2";
+      "select name from emp where salary > 150.0";
+      "select * from emp e, audit_log a where e.name = a.name";
+      "update emp set salary = salary + 1.0 where emp_no = 1";
+      "delete from emp where emp_no in (2, 3)";
+      "insert into audit_log select name from emp where emp_no = 1";
+      "insert into audit_log values ('zed')";
+    ]
+
+let test_explain_names_the_index () =
+  let s = indexed_system () in
+  match explained s "explain select * from emp where emp_no = 2" with
+  | [ { Eval.sp_binding = "emp"; sp_path = Eval.Index_probe p } ] ->
+    Alcotest.(check (option string)) "index name" (Some "emp_no_ix") p.index;
+    Alcotest.(check string) "column" "emp_no" p.column;
+    Alcotest.(check int) "matches" 1 p.matches;
+    Alcotest.(check (option int)) "cardinality" (Some 3) p.rows;
+    Alcotest.(check bool) "conjunct mentions the column" true
+      (String.length p.conjunct > 0)
+  | plans ->
+    Alcotest.failf "expected one index probe, got: %s"
+      (String.concat "; " (List.map Eval.describe_source_plan plans))
+
+let test_explain_does_not_execute () =
+  let s = indexed_system () in
+  let eng = System.engine s in
+  let before = rows s "select * from emp order by emp_no" in
+  ignore (explained s "explain delete from emp");
+  ignore (System.exec s "explain update emp set salary = 0.0");
+  let st = Engine.stats eng in
+  (* the EXPLAINs themselves perturbed no scan/probe statistics beyond
+     the two verification queries above *)
+  let scans0 = st.Engine.seq_scans in
+  ignore (explained s "explain select * from emp where emp_no = 1");
+  Alcotest.(check int) "no stats from planning" scans0 st.Engine.seq_scans;
+  Alcotest.check rows_testable "no rows changed" before
+    (rows s "select * from emp order by emp_no")
+
+let test_explain_unknown_table () =
+  let s = indexed_system () in
+  expect_error (fun () -> explained s "explain select * from nosuch")
+
+let test_explain_rule () =
+  let s = indexed_system () in
+  run s
+    "create rule audit when deleted from emp if exists (select * from \
+     deleted emp where salary > 100.0) then insert into audit_log select \
+     name from deleted emp";
+  (match Engine.explain_rule (System.engine s) "audit" with
+  | [ (sql, [ { Eval.sp_binding = "emp"; sp_path = Eval.Materialized m } ]) ]
+    ->
+    Alcotest.(check bool) "condition text" true
+      (String.length sql > 0);
+    Alcotest.(check int) "empty transition table" 0 m.rows
+  | r ->
+    Alcotest.failf "unexpected rule plan shape (%d entries)" (List.length r));
+  (* a condition that also reads a base table shows its access path *)
+  run s
+    "create rule cross_check when inserted into emp if exists (select * from \
+     emp where emp_no = 1) then insert into audit_log values ('x')";
+  (match Engine.explain_rule (System.engine s) "cross_check" with
+  | [ (_, [ { Eval.sp_path = Eval.Index_probe p; _ } ]) ] ->
+    Alcotest.(check (option string)) "probes via the index" (Some "emp_no_ix")
+      p.index
+  | r ->
+    Alcotest.failf "unexpected cross_check plan shape (%d entries)"
+      (List.length r));
+  (* condition-less rules have nothing to plan *)
+  run s "create rule plain when inserted into emp then insert into audit_log \
+         values ('y')";
+  Alcotest.(check int) "condition-less rule" 0
+    (List.length (Engine.explain_rule (System.engine s) "plain"));
+  expect_error (fun () -> Engine.explain_rule (System.engine s) "nosuch")
+
+(* ---- trace, clock, metrics ---- *)
+
+let traced_system () =
+  let s = indexed_system () in
+  run s
+    "create rule audit when deleted from emp then insert into audit_log \
+     select name from deleted emp";
+  Engine.set_tracing (System.engine s) true;
+  s
+
+let test_trace_timestamps () =
+  let s = traced_system () in
+  let eng = System.engine s in
+  run s "delete from emp where emp_no = 3";
+  (* no clock installed: every stamp is None *)
+  Alcotest.(check bool) "no stamps without a clock" true
+    (List.for_all (fun (st, _) -> st = None) (Engine.timed_trace eng));
+  Alcotest.(check bool) "has events" true (Engine.timed_trace eng <> []);
+  (* install a deterministic clock: stamps appear and are monotone *)
+  let t = ref 0.0 in
+  Engine.set_clock eng (Some (fun () -> t := !t +. 0.5; !t));
+  Alcotest.(check bool) "has_clock" true (Engine.has_clock eng);
+  run s "delete from emp where emp_no = 2";
+  let stamps = List.map fst (Engine.timed_trace eng) in
+  Alcotest.(check bool) "all stamped" true
+    (List.for_all Option.is_some stamps);
+  let rec monotone = function
+    | Some a :: (Some b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone stamps" true (monotone stamps)
+
+let test_trace_jsonl () =
+  let s = traced_system () in
+  let eng = System.engine s in
+  run s "delete from emp where emp_no = 3";
+  let jsonl = Engine.trace_jsonl eng in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one line per event" (List.length (Engine.trace eng))
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      Alcotest.(check bool) "object per line" true
+        (String.length line > 2
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}');
+      let seq = Printf.sprintf "{\"seq\":%d," i in
+      Alcotest.(check bool) "sequential seq field" true
+        (String.length line >= String.length seq
+        && String.sub line 0 (String.length seq) = seq))
+    lines;
+  (* clock off: no "t" field anywhere, so the export is deterministic *)
+  Alcotest.(check bool) "no timestamps when clock off" false
+    (List.exists
+       (fun line ->
+         let rec contains i =
+           i + 5 <= String.length line
+           && (String.sub line i 5 = "\"t\":0" || contains (i + 1))
+         in
+         contains 0)
+       lines);
+  Alcotest.(check bool) "fired event present" true
+    (List.exists
+       (fun line ->
+         let needle = "\"event\":\"fired\",\"rule\":\"audit\"" in
+         let rec contains i =
+           i + String.length needle <= String.length line
+           && (String.sub line i (String.length needle) = needle
+              || contains (i + 1))
+         in
+         contains 0)
+       lines)
+
+let test_rule_metrics () =
+  let s = traced_system () in
+  let eng = System.engine s in
+  run s "delete from emp where emp_no = 3";
+  run s "delete from emp where emp_no = 2";
+  let row name =
+    match
+      List.find_opt
+        (fun r -> r.Engine.rr_rule = name)
+        (Engine.rule_report eng)
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "no report row for %s" name
+  in
+  let audit = row "audit" in
+  Alcotest.(check int) "audit considered twice" 2 audit.Engine.rr_considered;
+  Alcotest.(check int) "audit fired twice" 2 audit.Engine.rr_fired;
+  Alcotest.(check int) "audit effect tuples" 2 audit.Engine.rr_effect_tuples;
+  (* counts accumulate without a clock, times stay zero *)
+  Alcotest.(check (float 0.0)) "no cond time without clock" 0.0
+    audit.Engine.rr_cond_seconds;
+  Alcotest.(check (float 0.0)) "no action time without clock" 0.0
+    audit.Engine.rr_action_seconds;
+  (* with a clock the action time accumulates (deterministic fake
+     clock: +0.25s per read, 2 reads per action) *)
+  let t = ref 0.0 in
+  Engine.set_clock eng (Some (fun () -> t := !t +. 0.25; !t));
+  run s "delete from emp where emp_no = 1";
+  let audit = row "audit" in
+  Alcotest.(check int) "third firing" 3 audit.Engine.rr_fired;
+  Alcotest.(check bool) "action time accumulated" true
+    (audit.Engine.rr_action_seconds > 0.0);
+  (* dropped rules leave the report *)
+  run s "drop rule audit";
+  Alcotest.(check bool) "dropped rule gone" true
+    (List.for_all
+       (fun r -> r.Engine.rr_rule <> "audit")
+       (Engine.rule_report eng))
+
+(* ---- statement round-trip property ---- *)
+
+(* Generators for printable-and-reparsable statements.  Numeric
+   literals are non-negative (negation is a separate AST node) and
+   floats are quarters so "%.12g" reproduces them exactly; identifiers
+   come from fixed keyword-free lists; nan/infinity literals are
+   included to pin the non-finite spellings. *)
+module Gen = struct
+  open QCheck.Gen
+
+  let ident = oneofl [ "emp"; "dept"; "t"; "u" ]
+  let col = oneofl [ "a"; "b"; "c" ]
+
+  let lit =
+    oneof
+      [
+        map (fun n -> Value.Int n) (int_bound 1000);
+        map (fun k -> Value.Float (float_of_int k /. 4.0)) (int_bound 400);
+        map (fun s -> Value.Str s) (oneofl [ ""; "x"; "o'k"; "per cent%" ]);
+        oneofl [ Value.Null; Value.Bool true; Value.Bool false ];
+        (* no neg_infinity here: as with "-2.5", a leading minus parses
+           as a separate Neg node, the grammar's convention for every
+           negative literal *)
+        oneofl [ Value.Float Float.nan; Value.Float Float.infinity ];
+      ]
+
+  let rec expr n =
+    if n <= 0 then
+      oneof
+        [
+          map (fun v -> Ast.Lit v) lit;
+          map (fun c -> Ast.Col { qualifier = None; column = c }) col;
+          map2
+            (fun q c -> Ast.Col { qualifier = Some q; column = c })
+            ident col;
+        ]
+    else
+      let sub = expr (n / 2) in
+      oneof
+        [
+          map (fun v -> Ast.Lit v) lit;
+          map (fun c -> Ast.Col { qualifier = None; column = c }) col;
+          map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) sub sub;
+          map2 (fun a b -> Ast.Cmp (Ast.Le, a, b)) sub sub;
+          map2 (fun a b -> Ast.And (a, b)) sub sub;
+          map2 (fun a b -> Ast.Or (a, b)) sub sub;
+          map (fun a -> Ast.Not a) sub;
+          map (fun a -> Ast.Neg a) sub;
+          map (fun a -> Ast.Is_null a) sub;
+          map2 (fun a b -> Ast.In_list (a, [ b ])) sub sub;
+          map2 (fun a b -> Ast.Fn ("coalesce", [ a; b ])) sub sub;
+        ]
+
+  let proj =
+    oneof
+      [
+        return Ast.Star;
+        map (fun t -> Ast.Table_star t) ident;
+        map2 (fun e a -> Ast.Proj (e, a)) (expr 2)
+          (oneofl [ None; Some "x"; Some "y" ]);
+      ]
+
+  let from_item =
+    map2
+      (fun t a -> { Ast.source = Ast.Base t; alias = a })
+      ident
+      (oneofl [ None; Some "x"; Some "y" ])
+
+  let select_core =
+    let* distinct = bool in
+    let* projections = list_size (int_range 1 3) proj in
+    let* from = list_size (int_range 0 2) from_item in
+    let* where = opt (expr 3) in
+    return
+      {
+        Ast.distinct;
+        projections;
+        from;
+        where;
+        group_by = [];
+        having = None;
+        compounds = [];
+        order_by = [];
+        limit = None;
+      }
+
+  let select =
+    let* core = select_core in
+    let* compounds =
+      list_size (int_range 0 1)
+        (pair (oneofl [ Ast.Union; Ast.Union_all; Ast.Except ]) select_core)
+    in
+    let* order_by =
+      list_size (int_range 0 2) (pair (expr 1) (oneofl [ `Asc; `Desc ]))
+    in
+    let* limit = opt (int_bound 50) in
+    return { core with Ast.compounds; order_by; limit }
+
+  let op =
+    oneof
+      [
+        map (fun s -> Ast.Select_op s) select;
+        (let* table = ident in
+         let* columns = opt (list_size (int_range 1 2) col) in
+         let* source =
+           oneof
+             [
+               map
+                 (fun rows -> `Values rows)
+                 (list_size (int_range 1 2)
+                    (list_size (int_range 1 2) (map (fun v -> Ast.Lit v) lit)));
+               map (fun s -> `Select s) select;
+             ]
+         in
+         return (Ast.Insert { table; columns; source }));
+        (let* table = ident in
+         let* where = opt (expr 3) in
+         return (Ast.Delete { table; where }));
+        (let* table = ident in
+         let* sets = list_size (int_range 1 2) (pair col (expr 2)) in
+         let* where = opt (expr 3) in
+         return (Ast.Update { table; sets; where }));
+      ]
+
+  let statement =
+    oneof
+      [
+        map (fun o -> Ast.Stmt_op o) op;
+        map (fun o -> Ast.Stmt_explain (Ast.Explain_op o)) op;
+        map (fun r -> Ast.Stmt_explain (Ast.Explain_rule r)) ident;
+      ]
+end
+
+let prop_statement_round_trip =
+  let arb =
+    QCheck.make ~print:Pretty.statement_str Gen.statement
+  in
+  QCheck.Test.make ~name:"parse (pretty stmt) = stmt" ~count:500 arb
+    (fun stmt ->
+      let printed = Pretty.statement_str stmt in
+      match Parser.parse_statement_string printed with
+      | reparsed ->
+        (* structural compare is nan-safe, unlike (=) *)
+        compare reparsed stmt = 0
+        || QCheck.Test.fail_reportf "printed %S\nreparsed as %S" printed
+             (Pretty.statement_str reparsed)
+      | exception Errors.Error e ->
+        QCheck.Test.fail_reportf "printed %S\nfailed to parse: %s" printed
+          (Errors.to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "parse explain" `Quick test_parse_explain;
+    Alcotest.test_case "explain matches the executor" `Quick
+      test_explain_matches_executor;
+    Alcotest.test_case "explain names the index" `Quick
+      test_explain_names_the_index;
+    Alcotest.test_case "explain does not execute" `Quick
+      test_explain_does_not_execute;
+    Alcotest.test_case "explain unknown table" `Quick test_explain_unknown_table;
+    Alcotest.test_case "explain rule" `Quick test_explain_rule;
+    Alcotest.test_case "trace timestamps" `Quick test_trace_timestamps;
+    Alcotest.test_case "trace jsonl export" `Quick test_trace_jsonl;
+    Alcotest.test_case "rule metrics report" `Quick test_rule_metrics;
+    qtest prop_statement_round_trip;
+  ]

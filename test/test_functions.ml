@@ -74,6 +74,46 @@ let test_function_errors () =
   expect_error (fun () -> System.query s "select upper(1) from t");
   expect_error (fun () -> System.query s "select length() from t")
 
+(* Regression: floor/ceil/round used to pipe any float through an
+   unchecked [int_of_float], so nan silently became 0 and out-of-range
+   values became garbage.  They now raise a type error; in-range
+   conversions are unchanged. *)
+let test_int_conversion_checked () =
+  let s = s () in
+  expect_error (fun () -> System.query s "select floor(nan) from t");
+  expect_error (fun () -> System.query s "select ceil(nan) from t");
+  expect_error (fun () -> System.query s "select round(nan) from t");
+  expect_error (fun () -> System.query s "select floor(infinity) from t");
+  expect_error (fun () -> System.query s "select ceil(0 - infinity) from t");
+  expect_error (fun () -> System.query s "select round(infinity) from t");
+  (* 5e18 > 2^62: representable as a float, not as an int *)
+  expect_error (fun () ->
+      System.query s "select floor(5000000000000000000.0) from t");
+  (* boundary: 2^62 - 512 is the largest double below 2^62 *)
+  Alcotest.check value_testable "largest convertible double"
+    (vi 4611686018427387392)
+    (one s "select floor(4611686018427387392.0) from t");
+  Alcotest.check value_testable "floor still works" (vi 2)
+    (one s "select floor(f) from t")
+
+(* Regression: [round(int, digits)] used to bounce the int through
+   float and back, so it could overflow or lose precision; an int input
+   with non-negative digits is already rounded and must come back as
+   the same int. *)
+let test_round_int_input () =
+  let s = s () in
+  Alcotest.check value_testable "round(int, 1) is the int" (vi (-3))
+    (one s "select round(n, 1) from t");
+  Alcotest.check value_testable "round(int, 0) is the int" (vi (-3))
+    (one s "select round(n, 0) from t");
+  (* a 62-bit int that a float round-trip would corrupt *)
+  Alcotest.check value_testable "huge int unharmed"
+    (vi 4611686018427387891)
+    (one s "select round(4611686018427387891, 2) from t");
+  (* negative digits genuinely round, still as an int *)
+  Alcotest.check value_testable "round(125, -1)" (vi 130)
+    (one s "select round(125, 0 - 1) from t")
+
 let test_function_round_trip () =
   let sql = "select coalesce(upper(v), substr(v, 1, 2)) from t" in
   let ast = Parser.parse_statement_string sql in
@@ -92,5 +132,9 @@ let suite =
     Alcotest.test_case "functions inside rules" `Quick
       test_functions_in_predicates_and_rules;
     Alcotest.test_case "function errors" `Quick test_function_errors;
+    Alcotest.test_case "checked int conversions (regression)" `Quick
+      test_int_conversion_checked;
+    Alcotest.test_case "round on int input (regression)" `Quick
+      test_round_int_input;
     Alcotest.test_case "function round trip" `Quick test_function_round_trip;
   ]

@@ -24,6 +24,8 @@ let () =
       ("interplay", Test_interplay.suite);
       ("properties", Test_properties.suite);
       ("index-equivalence", Test_index_equivalence.suite);
+      ("priority", Test_priority.suite);
+      ("explain", Test_explain.suite);
     ("fault-injection", Test_fault_injection.suite);
       ("config-matrix", Test_config_matrix.suite);
     ]

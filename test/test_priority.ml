@@ -1,0 +1,88 @@
+(* Priority graph: ordering semantics plus the diamond-DAG regression.
+
+   [Priority.find_path]'s DFS used to copy its visited set into every
+   fold branch instead of threading it through, so on a layered diamond
+   DAG (each node pointing to both nodes of the next layer) a failing
+   search re-explored each layer's subgraph twice per node — 2^layers
+   node expansions overall.  The fix threads the visited set; the
+   [search_steps] counter proves each node is expanded at most once.
+   The guard is a step counter, not wall time, so the test is
+   deterministic under load. *)
+
+open Core
+
+let node layer pos = Printf.sprintf "r_%d_%d" layer pos
+
+(* A layered diamond DAG: [layers] layers of 2 nodes; every node of
+   layer i is higher-priority than both nodes of layer i+1. *)
+let diamond layers =
+  let t = ref Priority.empty in
+  for layer = 0 to layers - 2 do
+    for pos = 0 to 1 do
+      for pos' = 0 to 1 do
+        t := Priority.declare !t ~high:(node layer pos) ~low:(node (layer + 1) pos')
+      done
+    done
+  done;
+  !t
+
+let test_order () =
+  let t =
+    Priority.declare
+      (Priority.declare Priority.empty ~high:"a" ~low:"b")
+      ~high:"b" ~low:"c"
+  in
+  Alcotest.(check bool) "a > c transitively" true (Priority.higher t "a" "c");
+  Alcotest.(check bool) "c > a is false" false (Priority.higher t "c" "a");
+  Alcotest.(check bool) "a > a is false" false (Priority.higher t "a" "a")
+
+let test_cycle_rejected () =
+  let t = diamond 3 in
+  Helpers.expect_error (fun () ->
+      Priority.declare t ~high:(node 2 0) ~low:(node 0 0))
+
+(* The regression proper: a 20-layer diamond has 40 nodes and 76 edges.
+   Pre-fix, the failing bottom-to-top search took ~2^19 expansions (it
+   was effectively unfinishable at this size); post-fix every search is
+   bounded by nodes + edges. *)
+let test_diamond_linear () =
+  let layers = 20 in
+  let t = diamond layers in
+  let bound = (2 * layers) + (4 * (layers - 1)) + 8 in
+  Alcotest.(check bool)
+    "top > bottom" true
+    (Priority.higher t (node 0 0) (node (layers - 1) 1));
+  Alcotest.(check bool)
+    "successful search is linear" true
+    (!Priority.search_steps <= bound);
+  (* the exponential pre-fix case: a failing search from the top must
+     visit the whole DAG exactly once, not once per path *)
+  Alcotest.(check bool)
+    "no path to an absent node" false
+    (Priority.higher t (node 0 0) "absent");
+  Alcotest.(check bool)
+    (Printf.sprintf "failing search took %d steps (bound %d)"
+       !Priority.search_steps bound)
+    true
+    (!Priority.search_steps <= bound)
+
+(* Declaring runs the cycle check (a path search from [low] to [high]);
+   when [low] is the top of the diamond the check explores the whole
+   DAG before concluding there is no cycle — exactly the pre-fix
+   exponential case. *)
+let test_declare_scales () =
+  let t = diamond 20 in
+  ignore (Priority.declare t ~high:"fresh_top" ~low:(node 0 0));
+  Alcotest.(check bool)
+    "cycle check on declare is linear" true
+    (!Priority.search_steps <= 200)
+
+let suite =
+  [
+    Alcotest.test_case "transitive order" `Quick test_order;
+    Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "diamond DAG search is linear (regression)" `Quick
+      test_diamond_linear;
+    Alcotest.test_case "declare cycle-check is linear" `Quick
+      test_declare_scales;
+  ]

@@ -100,6 +100,28 @@ let test_to_string_round_trip () =
       Alcotest.(check (float 1e-9)) s f (float_of_string s))
     [ 0.0; 1.5; -2.25; 1e10; 0.1 ]
 
+(* Regression: non-finite floats used to print as OCaml's "nan"/"inf",
+   which the SQL grammar could not read back (and "inf" is not even a
+   valid float literal elsewhere).  They now print as the grammar's
+   NAN / INFINITY literal spellings, so any stored value round-trips
+   through rendered SQL. *)
+let test_non_finite_round_trip () =
+  Alcotest.(check string) "nan spelling" "nan" (Value.to_string (vf Float.nan));
+  Alcotest.(check string) "infinity spelling" "infinity"
+    (Value.to_string (vf Float.infinity));
+  Alcotest.(check string) "-infinity spelling" "-infinity"
+    (Value.to_string (vf Float.neg_infinity));
+  let s = Helpers.system "create table t (f float)" in
+  List.iter
+    (fun f ->
+      let v = vf f in
+      let again =
+        Helpers.cell s (Printf.sprintf "select %s" (Value.to_string v))
+      in
+      (* Value.equal is total here: nan = nan under Float.equal *)
+      check_value (Value.to_string v) v again)
+    [ Float.nan; Float.infinity; Float.neg_infinity; 1.5; -2.25 ]
+
 let test_display () =
   Alcotest.(check string) "str unquoted" "hi" (Value.to_display (vs "hi"));
   Alcotest.(check string) "str quoted" "'it''s'" (Value.to_string (vs "it's"));
@@ -153,6 +175,8 @@ let suite =
     Alcotest.test_case "like" `Quick test_like;
     Alcotest.test_case "total order" `Quick test_total_order;
     Alcotest.test_case "to_string round trip" `Quick test_to_string_round_trip;
+    Alcotest.test_case "non-finite round trip (regression)" `Quick
+      test_non_finite_round_trip;
     Alcotest.test_case "display" `Quick test_display;
     qtest prop_like_self;
     qtest prop_compare_total_order;
