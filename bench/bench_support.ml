@@ -15,8 +15,14 @@ let ols =
 
 let instances = Instance.[ monotonic_clock ]
 
+(* SOPR_BENCH_TINY=1 shrinks workload sizes and measurement quotas so
+   the harness finishes in seconds — the CI smoke mode.  Numbers from
+   a tiny run are meaningless; it only proves the experiments run. *)
+let tiny = Sys.getenv_opt "SOPR_BENCH_TINY" <> None
+
 let default_cfg =
-  Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~stabilize:false
+  let quota = if tiny then 0.02 else 0.4 in
+  Benchmark.cfg ~limit:50 ~quota:(Time.second quota) ~stabilize:false
     ~kde:None ()
 
 (* Run a test (possibly grouped/indexed) and return (name, ns/run)

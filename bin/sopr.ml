@@ -112,6 +112,9 @@ let help_text =
    \\trace dump F    write the trace as JSON Lines to file F ('-' = stdout)\n\
    \\clock on        timestamp traces and time rules (\\clock off disables)\n\
    \\report          per-rule metrics (considered/fired/times/effect tuples)\n\
+   \\compile         show whether the compiling evaluator is in use\n\
+   \\compile on      evaluate via compiled positional closures (default)\n\
+   \\compile off     evaluate via the tree-walking interpreter\n\
    \\help            this message\n\
    Everything else is SQL; statements end with ';'."
 
@@ -157,6 +160,15 @@ let interactive system =
           Engine.set_clock (System.engine system) None;
           print_endline "clock disabled"
         | [ "report" ] -> print_report system
+        | [ "compile" ] ->
+          Printf.printf "expression compilation is %s\n"
+            (if !Sqlf.Compile.enabled then "on" else "off")
+        | [ "compile"; "on" ] ->
+          Sqlf.Compile.enabled := true;
+          print_endline "expression compilation enabled"
+        | [ "compile"; "off" ] ->
+          Sqlf.Compile.enabled := false;
+          print_endline "expression compilation disabled (interpreter in use)"
         | [ "help" ] -> print_endline help_text
         | _ -> Printf.printf "unknown meta-command %s\n" trimmed);
         loop ()

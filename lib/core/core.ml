@@ -137,9 +137,7 @@ module System = struct
         (Constraints.compile c);
       Msg (Printf.sprintf "assertion %s created (rule %s)" name (Constraints.name_of c))
     | Ast.Stmt_drop_assertion name ->
-      Engine.drop_rule eng
-        (Constraints.name_of
-           (Constraints.Assertion { assertion_name = name; predicate = Ast.Lit Value.Null }));
+      Engine.drop_rule eng (Constraints.assertion_rule_name name);
       Msg (Printf.sprintf "assertion %s dropped" name)
     | Ast.Stmt_create_index { ix_name; ix_table; ix_column } ->
       Engine.create_index eng ~ix_name ~table:ix_table ~column:ix_column;

@@ -13,12 +13,24 @@ module Str_map = Map.Make (String)
 
 type t = {
   schema : Schema.table;
+  col_names : string array;
+      (* the schema's column names, extracted once at creation; resolvers
+         bind every row of a scan under this array, so rebuilding it per
+         resolution would allocate O(columns) per access *)
   rows : (Handle.t * Row.t) Int_map.t;
   indexes : Index.t Str_map.t; (* keyed by index name *)
 }
 
-let create schema = { schema; rows = Int_map.empty; indexes = Str_map.empty }
+let create schema =
+  {
+    schema;
+    col_names = Array.map (fun c -> c.Schema.col_name) schema.Schema.columns;
+    rows = Int_map.empty;
+    indexes = Str_map.empty;
+  }
+
 let schema t = t.schema
+let col_names t = t.col_names
 let name t = t.schema.Schema.table_name
 let cardinality t = Int_map.cardinal t.rows
 let is_empty t = Int_map.is_empty t.rows
@@ -64,15 +76,15 @@ let delete t handle =
     }
 
 let update t handle row =
-  assert (Int_map.mem (Handle.id handle) t.rows);
-  let _, old_row = Int_map.find (Handle.id handle) t.rows in
-  let indexes = index_remove t handle old_row in
-  let t = { t with indexes } in
-  {
-    t with
-    rows = Int_map.add (Handle.id handle) (handle, row) t.rows;
-    indexes = index_add t handle row;
-  }
+  match Int_map.find_opt (Handle.id handle) t.rows with
+  | None -> assert false
+  | Some (_, old_row) ->
+    let t = { t with indexes = index_remove t handle old_row } in
+    {
+      t with
+      rows = Int_map.add (Handle.id handle) (handle, row) t.rows;
+      indexes = index_add t handle row;
+    }
 
 (* Enumeration is in handle order, i.e. insertion order, which keeps
    scans and query results deterministic. *)

@@ -17,6 +17,13 @@ type t
 
 val create : Schema.table -> t
 val schema : t -> Schema.table
+
+val col_names : t -> string array
+(** The schema's column names, computed once at table creation and
+    shared by every snapshot of the table — callers must not mutate the
+    array.  Resolvers bind scan rows under this array on every access,
+    so it is cached rather than rebuilt per call. *)
+
 val name : t -> string
 val cardinality : t -> int
 val is_empty : t -> bool

@@ -58,6 +58,12 @@ let rule name preds condition action =
 let sanitize s =
   String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9') as c -> c | _ -> '_') s
 
+(* The rule name an assertion compiles to, derivable from the
+   assertion name alone (dropping an assertion must find its rule
+   without re-stating the predicate). *)
+let assertion_rule_name assertion_name =
+  Printf.sprintf "assert_%s" (sanitize assertion_name)
+
 let name_of = function
   | Not_null { table; column } ->
     Printf.sprintf "nn_%s_%s" (sanitize table) (sanitize column)
@@ -68,8 +74,7 @@ let name_of = function
     Printf.sprintf "fk_%s_%s_%s" (sanitize child) (sanitize child_column)
       (sanitize parent)
   | Check { table; _ } -> Printf.sprintf "ck_%s" (sanitize table)
-  | Assertion { assertion_name; _ } ->
-    Printf.sprintf "assert_%s" (sanitize assertion_name)
+  | Assertion { assertion_name; _ } -> assertion_rule_name assertion_name
 
 (* ---- compilation ---- *)
 

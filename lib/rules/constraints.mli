@@ -31,6 +31,11 @@ val name_of : t -> string
 (** Deterministic rule-name stem for a constraint (e.g.
     [nn_emp_salary], [fk_emp_dept_no_dept]). *)
 
+val assertion_rule_name : string -> string
+(** The rule name an assertion compiles to, from the assertion name
+    alone — DROP ASSERTION uses it to find the rule without
+    re-stating the predicate. *)
+
 val compile : t -> Ast.rule_def list
 (** The production rules maintaining the constraint.  Multi-column
     foreign keys are rejected. *)

@@ -21,6 +21,7 @@ open Relational
 module Ast = Sqlf.Ast
 module Dml = Sqlf.Dml
 module Eval = Sqlf.Eval
+module Compile = Sqlf.Compile
 module Str_map = Map.Make (String)
 module Str_set = Set.Make (String)
 
@@ -95,6 +96,10 @@ type rule_report_row = {
 
 type t = {
   mutable db : Database.t;
+  mutable ddl_gen : int;
+      (* bumped by every DDL statement; compiled rule forms are keyed
+         on it (plus the planner switches) so schema or index changes
+         invalidate them *)
   mutable rules : Rule.t list; (* creation order *)
   mutable priorities : Priority.t;
   mutable infos : Trans_info.t Str_map.t;
@@ -128,6 +133,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 let create ?(config = default_config) db =
   {
     db;
+    ddl_gen = 0;
     rules = [];
     priorities = Priority.empty;
     infos = Str_map.empty;
@@ -171,10 +177,7 @@ let access_for t db : Eval.access =
     Eval.acc_cols =
       (fun ~table ->
         if Database.has_table db table then
-          Some
-            (Array.map
-               (fun c -> c.Schema.col_name)
-               (Database.schema db table).Schema.columns)
+          Some (Table.col_names (Database.table db table))
         else None);
     acc_probe =
       (fun ~table ~column values -> Database.probe db ~table ~column values);
@@ -196,6 +199,39 @@ let access_for t db : Eval.access =
           Some (Table.cardinality (Database.table db table))
         else None);
   }
+(* The validity key for compiled rule forms: a compiled condition or
+   action is reusable only against the catalog it was compiled for and
+   the planner switches in force at compile time (join-equivalence
+   links and probe candidates are selected statically). *)
+let gen_key t =
+  (t.ddl_gen * 4)
+  + (if !Eval.predicate_pushdown then 2 else 0)
+  + if !Eval.join_optimization then 1 else 0
+
+(* Fetch (or build) the compiled form of a rule's condition. *)
+let compiled_condition t (rule : Rule.t) cond =
+  let key = gen_key t in
+  let cf = rule.Rule.compiled in
+  match cf.Rule.cf_cond with
+  | Some (k, cp) when k = key -> cp
+  | _ ->
+    let cp = Compile.compile_predicate t.db cond in
+    cf.Rule.cf_cond <- Some (key, cp);
+    cp
+
+(* Fetch (or build) the compiled form of a rule's action block, so a
+   cascade's n-th firing re-enters closures instead of re-walking the
+   AST. *)
+let compiled_action t (rule : Rule.t) ops =
+  let key = gen_key t in
+  let cf = rule.Rule.compiled in
+  match cf.Rule.cf_action with
+  | Some (k, cops) when k = key -> cops
+  | _ ->
+    let cops = List.map (Dml.compile_op t.db) ops in
+    cf.Rule.cf_action <- Some (key, cops);
+    cops
+
 let in_transaction t = Option.is_some t.txn_start
 let set_tracing t on = t.tracing <- on
 let set_clock t clock = t.wall_clock <- clock
@@ -366,6 +402,22 @@ let create_rule t def =
     def.Ast.trans_preds;
   t.seq <- t.seq + 1;
   let rule = Rule.create ~seq:t.seq def in
+  (* compile the condition and action block eagerly so the first
+     consideration/firing pays no lowering cost.  Best-effort: if
+     warming fails the lazy path recompiles at first use, and any
+     genuine error keeps the interpreter's timing (at evaluation). *)
+  if !Compile.enabled then begin
+    (try
+       match Rule.condition rule with
+       | Some cond -> ignore (compiled_condition t rule cond)
+       | None -> ()
+     with _ -> ());
+    try
+      match Rule.action rule with
+      | Ast.Act_block ops -> ignore (compiled_action t rule ops)
+      | Ast.Act_rollback | Ast.Act_call _ -> ()
+    with _ -> ()
+  end;
   t.rules <- t.rules @ [ rule ];
   rule
 
@@ -412,23 +464,36 @@ let require_txn t =
    state produced by its predecessors; transition tables resolve
    through [resolver_of], which differs between external blocks (no
    transition tables) and rule actions. *)
-let run_ops t ~resolver_of (ops : Ast.op list) =
+let run_steps t ~resolver_of ~exec items =
   List.fold_left
-    (fun (eff, results) op ->
+    (fun (eff, results) item ->
       let resolve = resolver_of t.db in
       let access = access_for t t.db in
-      let r =
-        Dml.exec_op ~track_selects:t.config.track_selects
-          ~optimize:t.config.optimize ~access resolve t.db op
-      in
+      let r = exec ~access resolve t.db item in
       t.db <- r.Dml.db;
       let eff = Effect.compose eff (Effect.of_affected r.Dml.affected) in
       let results =
         match r.Dml.result with Some rel -> rel :: results | None -> results
       in
       (eff, results))
-    (Effect.empty, []) ops
+    (Effect.empty, []) items
   |> fun (eff, results) -> (eff, List.rev results)
+
+let run_ops t ~resolver_of (ops : Ast.op list) =
+  run_steps t ~resolver_of
+    ~exec:(fun ~access resolve db op ->
+      Dml.exec_op ~track_selects:t.config.track_selects
+        ~optimize:t.config.optimize ~access resolve db op)
+    ops
+
+(* The compiled counterpart: same per-operation resolver/access/state
+   threading, entering cached compiled operations. *)
+let run_cops t ~resolver_of (cops : Dml.cop list) =
+  run_steps t ~resolver_of
+    ~exec:(fun ~access resolve db cop ->
+      Dml.exec_cop ~track_selects:t.config.track_selects
+        ~optimize:t.config.optimize ~access resolve db cop)
+    cops
 
 let external_resolver db : Eval.resolver = Eval.base_resolver db
 
@@ -562,14 +627,19 @@ let process_rules_exn t =
         | None -> true
         | Some cond ->
           Fault.hit Fault.Rule_condition;
-          let cache =
-            if t.config.optimize then Some (Eval.make_cache ()) else None
-          in
           timed t
             (fun dt -> m.m_cond_seconds <- m.m_cond_seconds +. dt)
             (fun () ->
-              Eval.eval_predicate ?cache ~access:(access_for t t.db) resolve []
-                cond)
+              if !Compile.enabled then
+                Compile.run_predicate ~access:(access_for t t.db)
+                  ~use_cache:t.config.optimize resolve
+                  (compiled_condition t rule cond)
+              else
+                let cache =
+                  if t.config.optimize then Some (Eval.make_cache ()) else None
+                in
+                Eval.eval_predicate ?cache ~access:(access_for t t.db) resolve
+                  [] cond)
       in
       record t (Ev_considered { rule = rule.Rule.name; condition_held = cond_holds });
       Log.debug (fun m ->
@@ -600,10 +670,13 @@ let process_rules_exn t =
           timed t
             (fun dt -> m.m_action_seconds <- m.m_action_seconds +. dt)
             (fun () ->
-              let ops = action_block t rule resolve in
-              run_ops t
-                ~resolver_of:(fun db -> Transition_tables.resolver info db)
-                ops)
+              let resolver_of db = Transition_tables.resolver info db in
+              match Rule.action rule with
+              | Ast.Act_block ops when !Compile.enabled ->
+                run_cops t ~resolver_of (compiled_action t rule ops)
+              | _ ->
+                let ops = action_block t rule resolve in
+                run_ops t ~resolver_of ops)
         in
         m.m_fired <- m.m_fired + 1;
         m.m_effect_tuples <- m.m_effect_tuples + Effect.cardinality eff;
@@ -696,9 +769,14 @@ let execute_block t (ops : Ast.op list) =
     if in_transaction t then abort_txn t e;
     raise e
 
-(* Evaluate a query outside any rule context. *)
+(* Evaluate a query outside any rule context.  Top-level queries are
+   one-shot, so their compiled form is built, run and discarded — the
+   win here is the positional evaluation itself, not caching. *)
 let query t (s : Ast.select) =
-  Eval.eval_select ~access:(access_for t t.db) (external_resolver t.db) s
+  if !Compile.enabled then
+    Compile.eval_select ~access:(access_for t t.db) (external_resolver t.db)
+      t.db s
+  else Eval.eval_select ~access:(access_for t t.db) (external_resolver t.db) s
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN                                                             *)
@@ -708,8 +786,13 @@ let query t (s : Ast.select) =
 let explain_access t db : Eval.access =
   { (access_for t db) with Eval.acc_note = (fun ~table:_ _ -> ()) }
 
+(* EXPLAIN must report what the executor will actually do, so it plans
+   through whichever path execution would take. *)
 let explain_op t (op : Ast.op) =
-  Eval.plan_op ~access:(explain_access t t.db) (external_resolver t.db) op
+  if !Compile.enabled then
+    Compile.plan_op ~access:(explain_access t t.db) (external_resolver t.db)
+      t.db op
+  else Eval.plan_op ~access:(explain_access t t.db) (external_resolver t.db) op
 
 (* Collect the outermost embedded selects of a condition expression —
    the units the evaluator plans independently.  Sub-selects nested
@@ -750,8 +833,12 @@ let explain_rule t name =
   | Some cond ->
     let access = explain_access t t.db in
     let resolve = Transition_tables.resolver Trans_info.empty t.db in
+    let plan s =
+      if !Compile.enabled then Compile.plan_select ~access resolve t.db s
+      else Eval.plan_select ~access resolve s
+    in
     List.map
-      (fun s -> (Sqlf.Pretty.select_str s, Eval.plan_select ~access resolve s))
+      (fun s -> (Sqlf.Pretty.select_str s, plan s))
       (embedded_selects cond)
 
 (* DDL is not part of the transition model: it applies outside
@@ -760,7 +847,8 @@ let create_table t schema =
   if in_transaction t then
     Errors.raise_error
       (Errors.Transaction_error "DDL inside a transaction is not supported");
-  t.db <- Database.create_table t.db schema
+  t.db <- Database.create_table t.db schema;
+  t.ddl_gen <- t.ddl_gen + 1
 
 let drop_table t name =
   if in_transaction t then
@@ -783,7 +871,8 @@ let drop_table t name =
         Errors.semantic "cannot drop table %S: rule %S is triggered by it" name
           r.Rule.name)
     t.rules;
-  t.db <- Database.drop_table t.db name
+  t.db <- Database.drop_table t.db name;
+  t.ddl_gen <- t.ddl_gen + 1
 
 (* Index DDL is likewise rejected inside transactions: the retained
    pre-transition states (transition tables, rollback) each carry the
@@ -793,10 +882,12 @@ let create_index t ~ix_name ~table ~column =
   if in_transaction t then
     Errors.raise_error
       (Errors.Transaction_error "DDL inside a transaction is not supported");
-  t.db <- Database.create_index t.db ~ix_name ~table ~column
+  t.db <- Database.create_index t.db ~ix_name ~table ~column;
+  t.ddl_gen <- t.ddl_gen + 1
 
 let drop_index t ix_name =
   if in_transaction t then
     Errors.raise_error
       (Errors.Transaction_error "DDL inside a transaction is not supported");
-  t.db <- Database.drop_index t.db ix_name
+  t.db <- Database.drop_index t.db ix_name;
+  t.ddl_gen <- t.ddl_gen + 1

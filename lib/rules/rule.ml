@@ -11,11 +11,25 @@ open Relational
 module Ast = Sqlf.Ast
 module Pretty = Sqlf.Pretty
 
+(* Compiled forms of the rule's condition and action block, cached so
+   repeated firings (cascades especially) re-enter closures instead of
+   re-walking the AST.  A compiled form is valid only for the catalog
+   and planner switches it was compiled against, so each entry carries
+   the engine's generation key; the engine recompiles on mismatch.
+   The subrecord is mutable and shared structurally by copies of the
+   rule value (activation toggles copy the record), so the cache
+   survives deactivate/activate cycles. *)
+type compiled_forms = {
+  mutable cf_cond : (int * Sqlf.Compile.cpred) option;
+  mutable cf_action : (int * Sqlf.Dml.cop list) option;
+}
+
 type t = {
   name : string;
   def : Ast.rule_def;
   seq : int; (* creation order; also the default selection order *)
   active : bool;
+  compiled : compiled_forms;
 }
 
 (* Section 3: "our syntax does not enforce the restriction that a
@@ -39,7 +53,13 @@ let create ~seq (def : Ast.rule_def) =
   if def.Ast.trans_preds = [] then
     Errors.semantic "rule %S has no transition predicate" def.Ast.rule_name;
   validate_transition_references def;
-  { name = def.Ast.rule_name; def; seq; active = true }
+  {
+    name = def.Ast.rule_name;
+    def;
+    seq;
+    active = true;
+    compiled = { cf_cond = None; cf_action = None };
+  }
 
 let trans_preds r = r.def.Ast.trans_preds
 

@@ -9,11 +9,22 @@
 
 module Ast = Sqlf.Ast
 
+(** Cached compiled forms of the condition and action block (see
+    {!Sqlf.Compile}), each keyed by the engine's catalog generation;
+    the engine fills and invalidates these.  Mutable and shared by
+    copies of the rule value, so the cache survives activation
+    toggles. *)
+type compiled_forms = {
+  mutable cf_cond : (int * Sqlf.Compile.cpred) option;
+  mutable cf_action : (int * Sqlf.Dml.cop list) option;
+}
+
 type t = {
   name : string;
   def : Ast.rule_def;
   seq : int;  (** creation order; the default selection order *)
   active : bool;
+  compiled : compiled_forms;
 }
 
 val validate_transition_references : Ast.rule_def -> unit

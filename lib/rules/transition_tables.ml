@@ -20,21 +20,20 @@ open Relational
 module Ast = Sqlf.Ast
 module Eval = Sqlf.Eval
 
-let schema_cols schema =
-  Array.map (fun c -> c.Schema.col_name) schema.Schema.columns
-
 (* Deterministic row order: by handle id, i.e. insertion order. *)
 let sorted_bindings bindings =
   List.sort (fun (h1, _) (h2, _) -> Handle.compare h1 h2) bindings
 
-let relation_of name schema rows =
-  { Eval.rel_name = name; cols = schema_cols schema; rows }
+(* Transition-table columns are the base table's columns; the names
+   array is the one cached in the stored table value. *)
+let relation_of name tbl rows =
+  { Eval.rel_name = name; cols = Table.col_names tbl; rows }
 
 let materialize (ti : Trans_info.t) ~current_db (tt : Ast.trans_table) :
     Eval.relation =
   match tt with
   | Ast.Tt_inserted t ->
-    let schema = Database.schema current_db t in
+    let tbl = Database.table current_db t in
     let rows =
       Handle.Set.elements
         (Handle.Set.filter
@@ -42,18 +41,18 @@ let materialize (ti : Trans_info.t) ~current_db (tt : Ast.trans_table) :
            ti.Trans_info.ins)
       |> List.map (fun h -> Database.get_row current_db h)
     in
-    relation_of t schema rows
+    relation_of t tbl rows
   | Ast.Tt_deleted t ->
-    let schema = Database.schema current_db t in
+    let tbl = Database.table current_db t in
     let rows =
       Handle.Map.bindings ti.Trans_info.del
       |> List.filter (fun (h, _) -> String.equal (Handle.table h) t)
       |> sorted_bindings
       |> List.map snd
     in
-    relation_of t schema rows
+    relation_of t tbl rows
   | Ast.Tt_old_updated (t, col) | Ast.Tt_new_updated (t, col) ->
-    let schema = Database.schema current_db t in
+    let tbl = Database.table current_db t in
     let entries =
       Handle.Map.bindings ti.Trans_info.upd
       |> List.filter (fun (h, entry) ->
@@ -70,9 +69,9 @@ let materialize (ti : Trans_info.t) ~current_db (tt : Ast.trans_table) :
         List.map (fun (_, entry) -> entry.Trans_info.old_row) entries
       | _ -> List.map (fun (h, _) -> Database.get_row current_db h) entries
     in
-    relation_of t schema rows
+    relation_of t tbl rows
   | Ast.Tt_selected (t, col) ->
-    let schema = Database.schema current_db t in
+    let tbl = Database.table current_db t in
     let rows =
       Handle.Map.bindings ti.Trans_info.sel
       |> List.filter (fun (h, cols) ->
@@ -84,7 +83,7 @@ let materialize (ti : Trans_info.t) ~current_db (tt : Ast.trans_table) :
       |> sorted_bindings
       |> List.filter_map (fun (h, _) -> Database.find_row current_db h)
     in
-    relation_of t schema rows
+    relation_of t tbl rows
 
 (* A resolver that serves base tables from [db] and transition tables
    from [ti]; this is the evaluation environment for a rule's condition

@@ -32,10 +32,15 @@ type op_result = {
    table name, used to evaluate per-tuple predicates and SET
    expressions. *)
 let row_env tbl row =
-  let cols =
-    Array.map (fun c -> c.Schema.col_name) (Table.schema tbl).Schema.columns
-  in
-  [ [ { Eval.bind_name = Table.name tbl; bind_cols = cols; bind_row = row } ] ]
+  [
+    [
+      {
+        Eval.bind_name = Table.name tbl;
+        bind_cols = Table.col_names tbl;
+        bind_row = row;
+      };
+    ];
+  ]
 
 (* Victim selection: the rows of [tbl] satisfying [where], in handle
    order.  With access-path hooks installed, a sargable conjunct over
@@ -57,9 +62,7 @@ let selected_handles ?cache ?access resolve tbl where =
   | None -> scan ()
   | Some access -> (
     let name = Table.name tbl in
-    let cols =
-      Array.map (fun c -> c.Schema.col_name) (Table.schema tbl).Schema.columns
-    in
+    let cols = Table.col_names tbl in
     match
       Eval.probe_table ?cache ~access resolve ~table:name ~bind_name:name ~cols
         where
@@ -251,10 +254,7 @@ let select_read_set resolve db (s : Ast.select) =
               [
                 {
                   Eval.bind_name = binding;
-                  bind_cols =
-                    Array.map
-                      (fun c -> c.Schema.col_name)
-                      (Table.schema tbl).Schema.columns;
+                  bind_cols = Table.col_names tbl;
                   bind_row = row;
                 };
               ];
@@ -279,23 +279,286 @@ let select_read_set resolve db (s : Ast.select) =
         List.map (fun (h, _) -> (h, cols)) (Table.to_list tbl))
       items
 
+(* ------------------------------------------------------------------ *)
+(* Compiled operations.
+
+   When [Compile.enabled] is set, an operation is lowered once — the
+   WHERE predicate, SET expressions and embedded selects become
+   positional closures, and the victim-selection probe decision is
+   made statically — and then run.  The rules engine caches the
+   compiled form of each rule's action block across firings (keyed on
+   a DDL generation counter), so cascades re-enter closures instead of
+   re-walking the AST.
+
+   Compilation is total: an operation the compiler cannot resolve
+   against the catalog (unknown victim table, unknown SET column)
+   compiles to a fallback that runs the interpreted body, reproducing
+   the interpreter's error at the interpreter's point of raising. *)
+
+type cop =
+  | C_insert of {
+      table : string;
+      columns : string list option;
+      csource :
+        [ `Values of Compile.cexpr list list | `Select of Compile.cselect ];
+      nslots : int;
+    }
+  | C_delete of {
+      table : string;
+      cwhere : Compile.cexpr option;
+      cprobe : Compile.cprobe option;
+      nslots : int;
+    }
+  | C_update of {
+      table : string;
+      csets : (int * Compile.cexpr) list; (* schema position, value *)
+      set_cols : string list;
+      cwhere : Compile.cexpr option;
+      cprobe : Compile.cprobe option;
+      nslots : int;
+    }
+  | C_select of { s : Ast.select; csel : Compile.cselect; nslots : int }
+  | C_fallback of Ast.op
+
+let compile_op db (op : Ast.op) : cop =
+  match op with
+  | Ast.Insert { table; columns; source } ->
+    (* the interpreter resolves the target table before evaluating the
+       source; compilation of the source needs no catalog knowledge
+       (VALUES expressions see an empty environment), so the unknown-
+       table error stays a run-time one *)
+    let ctx = Compile.make db in
+    let csource =
+      match source with
+      | `Values exprss ->
+        `Values
+          (List.map
+             (List.map (fun e -> Compile.compile_expr ctx ~shape:[] e))
+             exprss)
+      | `Select s -> `Select (Compile.compile_select ctx s)
+    in
+    C_insert { table; columns; csource; nslots = Compile.slot_count ctx }
+  | Ast.Delete { table; where } ->
+    if not (Database.has_table db table) then C_fallback op
+    else begin
+      let ctx = Compile.make db in
+      let cols = Table.col_names (Database.table db table) in
+      let frame = [ (table, cols) ] in
+      let cwhere =
+        Option.map (Compile.compile_expr ctx ~shape:[ frame ]) where
+      in
+      let cprobe = Compile.compile_probe ctx ~frame ~target:table ~table where in
+      C_delete { table; cwhere; cprobe; nslots = Compile.slot_count ctx }
+    end
+  | Ast.Update { table; sets; where } ->
+    if not (Database.has_table db table) then C_fallback op
+    else begin
+      let schema = Database.schema db table in
+      if
+        not
+          (List.for_all (fun (c, _) -> Schema.has_column schema c) sets)
+      then
+        (* unknown SET column: the interpreted body raises the exact
+           error at the exact point (after resolving the table, before
+           victim selection) *)
+        C_fallback op
+      else begin
+        let ctx = Compile.make db in
+        let cols = Table.col_names (Database.table db table) in
+        let frame = [ (table, cols) ] in
+        let csets =
+          List.map
+            (fun (c, e) ->
+              ( Schema.column_index schema c,
+                Compile.compile_expr ctx ~shape:[ frame ] e ))
+            sets
+        in
+        let cwhere =
+          Option.map (Compile.compile_expr ctx ~shape:[ frame ]) where
+        in
+        let cprobe =
+          Compile.compile_probe ctx ~frame ~target:table ~table where
+        in
+        C_update
+          {
+            table;
+            csets;
+            set_cols = List.map fst sets;
+            cwhere;
+            cprobe;
+            nslots = Compile.slot_count ctx;
+          }
+      end
+    end
+  | Ast.Select_op s ->
+    let ctx = Compile.make db in
+    let csel = Compile.compile_select ctx s in
+    C_select { s; csel; nslots = Compile.slot_count ctx }
+
+(* Compiled victim selection: same shape as [selected_handles], with
+   the probe decision already made. *)
+let selected_handles_c rt ?access tbl cwhere cprobe =
+  let keep row =
+    match cwhere with
+    | None -> true
+    | Some ce -> Compile.cexpr_holds rt ce [| [| row |] |]
+  in
+  let scan () =
+    Table.fold (fun h row acc -> if keep row then (h, row) :: acc else acc) tbl []
+    |> List.rev
+  in
+  match access with
+  | None -> scan ()
+  | Some access -> (
+    let name = Table.name tbl in
+    match
+      match cprobe with
+      | None -> None
+      | Some cp -> Compile.run_probe rt access cp
+    with
+    | Some pairs ->
+      access.Eval.acc_note ~table:name `Index_probe;
+      List.filter (fun (_, row) -> keep row) pairs
+    | None ->
+      access.Eval.acc_note ~table:name `Seq_scan;
+      scan ())
+
+let run_cop ~track_selects ~optimize ?access resolve db (cop : cop) : op_result
+    =
+  let rt nslots =
+    Compile.make_rt ?access ~use_cache:optimize ~slots:nslots resolve
+  in
+  match cop with
+  | C_fallback op -> begin
+    let cache = if optimize then Some (Eval.make_cache ()) else None in
+    match op with
+    | Ast.Insert { table; columns; source } ->
+      exec_insert ?cache ?access resolve db table columns source
+    | Ast.Delete { table; where } ->
+      exec_delete ?cache ?access resolve db table where
+    | Ast.Update { table; sets; where } ->
+      exec_update ?cache ?access resolve db table sets where
+    | Ast.Select_op s ->
+      let rel = Eval.eval_select ?cache ?access resolve s in
+      let read = if track_selects then select_read_set resolve db s else [] in
+      { db; affected = A_select read; result = Some rel }
+  end
+  | C_insert { table; columns; csource; nslots } ->
+    let tbl = Database.table db table in
+    let schema = Table.schema tbl in
+    let position_row values =
+      match columns with
+      | None ->
+        if List.length values <> Schema.arity schema then
+          Errors.raise_error
+            (Errors.Arity_error
+               {
+                 table;
+                 expected = Schema.arity schema;
+                 got = List.length values;
+               });
+        Array.of_list values
+      | Some cols ->
+        if List.length cols <> List.length values then
+          Errors.semantic "column list and value list have different lengths";
+        let row =
+          Array.map
+            (fun c ->
+              match c.Schema.default with Some v -> v | None -> Value.Null)
+            schema.Schema.columns
+        in
+        List.iter2
+          (fun col v -> row.(Schema.column_index schema col) <- v)
+          cols values;
+        row
+    in
+    let rt = rt nslots in
+    let rows =
+      match csource with
+      | `Values cexprss ->
+        List.map
+          (fun cexprs ->
+            position_row
+              (List.map (fun ce -> Compile.eval_cexpr rt ce [||]) cexprs))
+          cexprss
+      | `Select cs ->
+        (* same fault site as the interpreter's embedded eval_select *)
+        Fault.hit Fault.Query_eval;
+        let rel = Compile.run_select rt cs in
+        List.map (fun row -> position_row (Array.to_list row)) rel.Eval.rows
+    in
+    let db, handles =
+      List.fold_left
+        (fun (db, hs) row ->
+          let db, h = Database.insert db table row in
+          (db, h :: hs))
+        (db, []) rows
+    in
+    { db; affected = A_insert (List.rev handles); result = None }
+  | C_delete { table; cwhere; cprobe; nslots } ->
+    let tbl = Database.table db table in
+    let victims = selected_handles_c (rt nslots) ?access tbl cwhere cprobe in
+    let db =
+      List.fold_left (fun db (h, _) -> Database.delete db h) db victims
+    in
+    { db; affected = A_delete victims; result = None }
+  | C_update { table; csets; set_cols; cwhere; cprobe; nslots } ->
+    let tbl = Database.table db table in
+    let rt = rt nslots in
+    let victims = selected_handles_c rt ?access tbl cwhere cprobe in
+    let updates =
+      List.map
+        (fun (h, old_row) ->
+          let env = [| [| old_row |] |] in
+          let new_row = Array.copy old_row in
+          List.iter
+            (fun (ix, ce) -> new_row.(ix) <- Compile.eval_cexpr rt ce env)
+            csets;
+          (h, old_row, new_row))
+        victims
+    in
+    let db =
+      List.fold_left (fun db (h, _, new_row) -> Database.update db h new_row)
+        db updates
+    in
+    {
+      db;
+      affected =
+        A_update (List.map (fun (h, old, _) -> (h, set_cols, old)) updates);
+      result = None;
+    }
+  | C_select { s; csel; nslots } ->
+    Fault.hit Fault.Query_eval;
+    let rel = Compile.run_select (rt nslots) csel in
+    let read = if track_selects then select_read_set resolve db s else [] in
+    { db; affected = A_select read; result = Some rel }
+
+let exec_cop ?(track_selects = false) ?(optimize = true) ?access resolve db
+    cop : op_result =
+  Fault.hit Fault.Dml_op;
+  run_cop ~track_selects ~optimize ?access resolve db cop
+
 let exec_op ?(track_selects = false) ?(optimize = true) ?access resolve db
     (op : Ast.op) : op_result =
   (* exception-safety injection site: an operation may fail before
      touching the database, and the caller must treat the containing
      block as indivisible either way *)
   Fault.hit Fault.Dml_op;
-  (* one uncorrelated-subquery cache per operation: the database state
-     is fixed while the operation identifies its tuples *)
-  let cache = if optimize then Some (Eval.make_cache ()) else None in
-  match op with
-  | Ast.Insert { table; columns; source } ->
-    exec_insert ?cache ?access resolve db table columns source
-  | Ast.Delete { table; where } ->
-    exec_delete ?cache ?access resolve db table where
-  | Ast.Update { table; sets; where } ->
-    exec_update ?cache ?access resolve db table sets where
-  | Ast.Select_op s ->
-    let rel = Eval.eval_select ?cache ?access resolve s in
-    let read = if track_selects then select_read_set resolve db s else [] in
-    { db; affected = A_select read; result = Some rel }
+  if !Compile.enabled then
+    run_cop ~track_selects ~optimize ?access resolve db (compile_op db op)
+  else begin
+    (* one uncorrelated-subquery cache per operation: the database
+       state is fixed while the operation identifies its tuples *)
+    let cache = if optimize then Some (Eval.make_cache ()) else None in
+    match op with
+    | Ast.Insert { table; columns; source } ->
+      exec_insert ?cache ?access resolve db table columns source
+    | Ast.Delete { table; where } ->
+      exec_delete ?cache ?access resolve db table where
+    | Ast.Update { table; sets; where } ->
+      exec_update ?cache ?access resolve db table sets where
+    | Ast.Select_op s ->
+      let rel = Eval.eval_select ?cache ?access resolve s in
+      let read = if track_selects then select_read_set resolve db s else [] in
+      { db; affected = A_select read; result = Some rel }
+  end

@@ -44,4 +44,37 @@ val exec_op :
     [optimize] (default [true]) enables uncorrelated-subquery caching
     for the operation.  [access] installs access-path hooks so
     sargable predicates over indexed columns are satisfied by index
-    probes instead of scans. *)
+    probes instead of scans.
+
+    When {!Compile.enabled} is set (the default) the operation's
+    expressions are lowered to positional closures and run; otherwise
+    the tree-walking interpreter executes it.  Results, affected sets
+    and error diagnostics are identical either way (asserted by the
+    differential test harness). *)
+
+(** {2 Compiled operations}
+
+    The rules engine caches each rule's action block in compiled form
+    (keyed on a DDL generation counter) so cascades re-enter closures
+    instead of re-walking the AST. *)
+
+type cop
+(** A compiled operation.  Valid for the catalog it was compiled
+    against: any DDL invalidates it. *)
+
+val compile_op : Database.t -> Ast.op -> cop
+(** Total: an operation the compiler cannot resolve against the
+    catalog compiles to a fallback that runs interpreted, reproducing
+    the interpreter's error exactly. *)
+
+val exec_cop :
+  ?track_selects:bool ->
+  ?optimize:bool ->
+  ?access:Eval.access ->
+  Eval.resolver ->
+  Database.t ->
+  cop ->
+  op_result
+(** Run a compiled operation against a (possibly different) database
+    state with the same catalog.  Hits the same [Dml_op] fault site as
+    {!exec_op}. *)

@@ -18,11 +18,7 @@ type relation = { rel_name : string; cols : string array; rows : Row.t list }
 type resolver = Ast.table_source -> relation
 
 let relation_of_table tbl =
-  {
-    rel_name = Table.name tbl;
-    cols = Array.map (fun c -> c.Schema.col_name) (Table.schema tbl).Schema.columns;
-    rows = Table.rows tbl;
-  }
+  { rel_name = Table.name tbl; cols = Table.col_names tbl; rows = Table.rows tbl }
 
 (* A resolver over base tables only; referencing a transition table
    outside rule processing is an error. *)

@@ -176,3 +176,41 @@ val describe_access_path : access_path -> string
 val describe_source_plan : source_plan -> string
 (** One-line rendering, e.g.
     ["emp: index probe of emp via emp_no_ix on emp_no, conjunct (emp_no = 2): 1 of 3 rows"]. *)
+
+(** {2 Shared semantics}
+
+    Pieces of the interpreter reused verbatim by the compiling
+    evaluator ({!Compile}), exported so the two paths cannot drift:
+    three-valued-logic plumbing, IN semantics, ORDER BY comparison, the
+    sargability analysis, and the grouped-query / projection-name
+    classification. *)
+
+val truth_value : Value.truth -> Value.t
+val value_truth : Value.t -> Value.truth
+(** Raises a type error on non-boolean predicate values. *)
+
+val in_semantics : Value.t -> Value.t list -> Value.t
+(** SQL IN: TRUE if some element equals, UNKNOWN if none equals but
+    some comparison was unknown, FALSE otherwise. *)
+
+val sort_by_keys :
+  ((Value.t * [ `Asc | `Desc ]) list * 'a) list ->
+  ((Value.t * [ `Asc | `Desc ]) list * 'a) list
+(** Stable sort of values tagged with ORDER BY keys. *)
+
+val conjuncts : Ast.expr -> Ast.expr list
+(** Top-level AND conjuncts of a predicate. *)
+
+val independence :
+  target:(string * string array) list ->
+  cols_of:(string -> string array option) ->
+  (Ast.expr -> bool) * (Ast.select -> bool)
+(** The conservative may-it-reference-the-target-frame test used by the
+    access-path planner; see the implementation comment. *)
+
+val select_contains_agg : Ast.select -> bool
+(** Is the select grouped (GROUP BY present, or aggregates in the
+    projections or HAVING)? *)
+
+val default_proj_name : Ast.expr -> string
+(** Output column name of an unaliased projection. *)

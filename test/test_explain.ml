@@ -46,51 +46,102 @@ let test_parse_explain () =
 
 (* ---- EXPLAIN vs the executor ---- *)
 
+(* Restore the evaluator choice on any exit: the compiled path is the
+   default for the rest of the suite. *)
+let with_compile flag f =
+  let saved = !Sqlf.Compile.enabled in
+  Sqlf.Compile.enabled := flag;
+  Fun.protect ~finally:(fun () -> Sqlf.Compile.enabled := saved) f
+
+let explain_statements =
+  [
+    "select * from emp where emp_no = 2";
+    "select name from emp where salary > 150.0";
+    "select * from emp e, audit_log a where e.name = a.name";
+    "update emp set salary = salary + 1.0 where emp_no = 1";
+    "delete from emp where emp_no in (2, 3)";
+    "insert into audit_log select name from emp where emp_no = 1";
+    "insert into audit_log values ('zed')";
+  ]
+
 (* For each statement: EXPLAIN first, count the scan/probe entries in
    the plan, then execute the real statement and compare against the
    deltas of the engine's own [seq_scans]/[index_probes] counters.  The
    statements deliberately have no subqueries, so the top-level plan
-   accounts for every base-table access the executor makes. *)
-let test_explain_matches_executor () =
+   accounts for every base-table access the executor makes.  Run once
+   per evaluator: the compiled planner must tell the truth about the
+   compiled executor exactly as the interpreting planner does about
+   the interpreter. *)
+let explain_matches_executor ~compiled () =
+  with_compile compiled (fun () ->
+      let s = indexed_system () in
+      let eng = System.engine s in
+      List.iter
+        (fun sql ->
+          let plans = explained s ("explain " ^ sql) in
+          let planned_scans =
+            List.length
+              (List.filter
+                 (fun p ->
+                   match p.Eval.sp_path with Eval.Seq_scan _ -> true | _ -> false)
+                 plans)
+          in
+          let planned_probes =
+            List.length
+              (List.filter
+                 (fun p ->
+                   match p.Eval.sp_path with
+                   | Eval.Index_probe _ -> true
+                   | _ -> false)
+                 plans)
+          in
+          let st = Engine.stats eng in
+          let scans0 = st.Engine.seq_scans
+          and probes0 = st.Engine.index_probes in
+          run s sql;
+          Alcotest.(check int)
+            (sql ^ ": seq scans")
+            planned_scans
+            (st.Engine.seq_scans - scans0);
+          Alcotest.(check int)
+            (sql ^ ": index probes")
+            planned_probes
+            (st.Engine.index_probes - probes0))
+        explain_statements)
+
+(* The two planners must also agree with EACH OTHER, statement by
+   statement — including shapes the counter test avoids (subqueries,
+   grouping) — and on EXPLAIN RULE output. *)
+let test_plans_agree_across_evaluators () =
   let s = indexed_system () in
-  let eng = System.engine s in
+  run s
+    "create rule audit when deleted from emp if exists (select * from \
+     deleted emp where salary > 100.0) then insert into audit_log select \
+     name from deleted emp";
+  let describe plans = List.map Eval.describe_source_plan plans in
   List.iter
     (fun sql ->
-      let plans = explained s ("explain " ^ sql) in
-      let planned_scans =
-        List.length
-          (List.filter
-             (fun p ->
-               match p.Eval.sp_path with Eval.Seq_scan _ -> true | _ -> false)
-             plans)
-      in
-      let planned_probes =
-        List.length
-          (List.filter
-             (fun p ->
-               match p.Eval.sp_path with Eval.Index_probe _ -> true | _ -> false)
-             plans)
-      in
-      let st = Engine.stats eng in
-      let scans0 = st.Engine.seq_scans and probes0 = st.Engine.index_probes in
-      run s sql;
-      Alcotest.(check int)
-        (sql ^ ": seq scans")
-        planned_scans
-        (st.Engine.seq_scans - scans0);
-      Alcotest.(check int)
-        (sql ^ ": index probes")
-        planned_probes
-        (st.Engine.index_probes - probes0))
-    [
-      "select * from emp where emp_no = 2";
-      "select name from emp where salary > 150.0";
-      "select * from emp e, audit_log a where e.name = a.name";
-      "update emp set salary = salary + 1.0 where emp_no = 1";
-      "delete from emp where emp_no in (2, 3)";
-      "insert into audit_log select name from emp where emp_no = 1";
-      "insert into audit_log values ('zed')";
-    ]
+      let pc = with_compile true (fun () -> explained s ("explain " ^ sql)) in
+      let pi = with_compile false (fun () -> explained s ("explain " ^ sql)) in
+      Alcotest.(check (list string)) (sql ^ ": same plan") (describe pi)
+        (describe pc))
+    (explain_statements
+    @ [
+        "select * from emp where emp_no in (select emp_no from emp where \
+         salary > 150.0)";
+        "select name, count(*) from emp group by name";
+        "delete from emp where salary = (select 150.0 + 50.0)";
+      ]);
+  let rc =
+    with_compile true (fun () -> Engine.explain_rule (System.engine s) "audit")
+  in
+  let ri =
+    with_compile false (fun () -> Engine.explain_rule (System.engine s) "audit")
+  in
+  Alcotest.(check (list (pair string (list string))))
+    "same rule plan"
+    (List.map (fun (sql, ps) -> (sql, describe ps)) ri)
+    (List.map (fun (sql, ps) -> (sql, describe ps)) rc)
 
 let test_explain_names_the_index () =
   let s = indexed_system () in
@@ -424,8 +475,12 @@ let prop_statement_round_trip =
 let suite =
   [
     Alcotest.test_case "parse explain" `Quick test_parse_explain;
-    Alcotest.test_case "explain matches the executor" `Quick
-      test_explain_matches_executor;
+    Alcotest.test_case "explain matches the executor (compiled)" `Quick
+      (explain_matches_executor ~compiled:true);
+    Alcotest.test_case "explain matches the executor (interpreted)" `Quick
+      (explain_matches_executor ~compiled:false);
+    Alcotest.test_case "planners agree across evaluators" `Quick
+      test_plans_agree_across_evaluators;
     Alcotest.test_case "explain names the index" `Quick
       test_explain_names_the_index;
     Alcotest.test_case "explain does not execute" `Quick

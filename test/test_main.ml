@@ -26,6 +26,7 @@ let () =
       ("index-equivalence", Test_index_equivalence.suite);
       ("priority", Test_priority.suite);
       ("explain", Test_explain.suite);
+      ("compile-diff", Test_compile_diff.suite);
     ("fault-injection", Test_fault_injection.suite);
       ("config-matrix", Test_config_matrix.suite);
     ]
