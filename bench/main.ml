@@ -21,6 +21,7 @@
      E13 (robustness)        abort/retry overhead under fault injection
      E14 (observability)     instrumentation overhead when off/on
      E15 (ablation)          compiled closures vs the interpreter
+     E16 (durability)        WAL overhead, recovery time, checkpoints
 
    Run with:  dune exec bench/main.exe            (all experiments)
               dune exec bench/main.exe -- E2 E3   (a subset)            *)
@@ -964,11 +965,173 @@ let e15 () =
        all);
   write_bench_json "BENCH_PR4.json" all
 
+(* ------------------------------------------------------------------ *)
+(* E16: durability — per-transaction WAL overhead, recovery time as a
+   function of log length, and the checkpoint ablation.  Three arms
+   for the overhead question: the plain in-memory system, the durable
+   system with fsync dropped, and the durable system with one fsync
+   per commit.  The gap between the first two is the cost of building
+   and writing the record; the gap to the third is the disk.  Rule
+   firings ride inside the logged net effect (the audit rule fires on
+   every measured transaction), so replay never re-runs them.          *)
+
+module Durable = Durability.Durable
+module Recovery = Durability.Recovery
+
+let bench_dir_counter = ref 0
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_dir label =
+  incr bench_dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sopr-bench-%d-%d-%s" (Unix.getpid ())
+         !bench_dir_counter label)
+  in
+  rm_rf d;
+  Unix.mkdir d 0o755;
+  d
+
+let e16_rows = 20
+
+let e16_setup =
+  "create table t (a int, b int);\n\
+   create table log (n int);\n\
+   create rule audit when updated t.b then insert into log values (1)"
+
+let e16_seed s =
+  ignore_exec s e16_setup;
+  ignore
+    (Engine.execute_block (System.engine s)
+       [ insert_op "t" (List.init e16_rows (fun i -> [ vi i; vi 0 ])) ])
+
+(* the steady-state transaction: ten updated tuples plus one audit-rule
+   insert per commit — a non-trivial but constant-size WAL record *)
+let e16_txn_ops = parse_ops "update t set b = b + 1 where a < 10"
+
+let e16_mem_test =
+  Test.make_with_resource ~name:"e16-memory" Test.multiple
+    ~allocate:(fun () ->
+      let s = System.create () in
+      e16_seed s;
+      s)
+    ~free:(fun _ -> ())
+    (Staged.stage (fun s ->
+         ignore (Engine.execute_block (System.engine s) e16_txn_ops)))
+
+let e16_durable_test name sync =
+  Test.make_with_resource ~name Test.multiple
+    ~allocate:(fun () ->
+      let dir = fresh_dir name in
+      let d, _ = Durable.open_dir ~sync dir in
+      e16_seed (Durable.system d);
+      (d, dir))
+    ~free:(fun (d, dir) ->
+      Durable.close d;
+      rm_rf dir)
+    (Staged.stage (fun (d, _) ->
+         ignore
+           (Engine.execute_block (System.engine (Durable.system d)) e16_txn_ops)))
+
+let e16_log_args = if tiny then [ 64; 256 ] else [ 256; 1024; 4096 ]
+
+(* Build a data directory whose WAL holds [n] single-insert commits.
+   Written with [sync:false] — the bytes are identical either way and
+   recovery cost does not depend on how they were written.  The
+   checkpointed variant publishes a checkpoint 16 commits before the
+   end, so restoration loads the snapshot and replays a short suffix. *)
+let e16_build_log ?checkpoint_at n =
+  let dir = fresh_dir "log" in
+  let d, _ = Durable.open_dir ~sync:false dir in
+  ignore (Durable.exec d "create table t (a int, b int)");
+  let eng = System.engine (Durable.system d) in
+  for i = 1 to n do
+    ignore (Engine.execute_block eng [ insert_op "t" [ [ vi i; vi 0 ] ] ]);
+    if checkpoint_at = Some i then Durable.checkpoint d
+  done;
+  Durable.close d;
+  dir
+
+let e16_restore_test name ~checkpoint =
+  Test.make_indexed_with_resource ~name ~fmt:"%s:n=%d" ~args:e16_log_args
+    Test.multiple
+    ~allocate:(fun n ->
+      e16_build_log
+        ?checkpoint_at:(if checkpoint then Some (n - 16) else None)
+        n)
+    ~free:rm_rf
+    (fun _ -> Staged.stage (fun dir -> ignore (Recovery.restore dir)))
+
+let write_e16_json path rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"E16\",\n  \"description\": \"durability: \
+        per-transaction WAL overhead, recovery time vs log length, \
+        checkpoint ablation\",\n  \"unit\": \"ns\",\n  \"tiny\": %b,\n  \
+        \"results\": [\n"
+       tiny);
+  List.iteri
+    (fun i (arm, n, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"arm\": \"%s\", \"n\": %d, \"ns\": %.1f}%s\n"
+           arm n ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nresults written to %s\n" path
+
+let e16 () =
+  print_header "E16" "durability: WAL overhead, recovery time, checkpoints"
+    "synchronous logging costs one record build + fsync per transaction; \
+     recovery replays the log linearly; a checkpoint collapses replay to \
+     snapshot load plus a short suffix";
+  let overhead =
+    run_test e16_mem_test
+    @ run_test (e16_durable_test "e16-wal-nosync" false)
+    @ run_test (e16_durable_test "e16-wal-sync" true)
+  in
+  let base = match overhead with (_, ns) :: _ -> ns | [] -> nan in
+  print_table [ "arm"; "time/txn"; "vs memory" ]
+    (List.map (fun (name, ns) -> [ name; pretty_ns ns; ratio ns base ]) overhead);
+  let arg_of name =
+    match String.split_on_char '=' name with
+    | [ _; n ] -> int_of_string n
+    | _ -> 0
+  in
+  let wal_only = run_test (e16_restore_test "e16-recover-wal" ~checkpoint:false) in
+  let ckpt = run_test (e16_restore_test "e16-recover-ckpt" ~checkpoint:true) in
+  print_table
+    [ "log records"; "wal-only restore"; "checkpointed restore"; "speedup" ]
+    (List.map2
+       (fun (name, w) (_, c) ->
+         [ string_of_int (arg_of name); pretty_ns w; pretty_ns c; ratio w c ])
+       wal_only ckpt);
+  let rows =
+    List.map (fun (name, ns) -> (name, 1, ns)) overhead
+    @ List.map (fun (name, ns) -> ("recover-wal-only", arg_of name, ns)) wal_only
+    @ List.map
+        (fun (name, ns) -> ("recover-checkpointed", arg_of name, ns))
+        ckpt
+  in
+  write_e16_json "BENCH_PR5.json" rows
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
   ]
 
 let () =

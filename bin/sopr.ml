@@ -24,10 +24,17 @@ let print_error e = Printf.printf "error: %s\n%!" (Errors.to_string e)
 (* Report an error together with what happened to the open transaction:
    the engine guarantees either the statement had no effect (block
    restored, transaction still open) or the whole transaction was
-   aborted and its start state restored. *)
-let exec_and_print system sql =
+   aborted and its start state restored.  With a data directory open,
+   execution routes through the durable layer so committed transitions
+   are logged and automatic checkpoints can run. *)
+let exec_and_print ?durable system sql =
   let was_in_txn = Engine.in_transaction (System.engine system) in
-  match System.exec system sql with
+  let run_sql () =
+    match durable with
+    | Some d -> Durability.Durable.exec d sql
+    | None -> System.exec system sql
+  in
+  match run_sql () with
   | results ->
     List.iter
       (fun r ->
@@ -115,12 +122,14 @@ let help_text =
    \\compile         show whether the compiling evaluator is in use\n\
    \\compile on      evaluate via compiled positional closures (default)\n\
    \\compile off     evaluate via the tree-walking interpreter\n\
+   \\checkpoint      write a checkpoint now (needs --data-dir)\n\
+   \\wal status      show WAL/checkpoint state (needs --data-dir)\n\
    \\help            this message\n\
    Everything else is SQL; statements end with ';'."
 
 (* Read statements until a line ends (trimmed) with ';' or a
    meta-command is typed. *)
-let interactive system =
+let interactive ?durable system =
   print_endline "sopr — set-oriented production rules shell. \\help for help.";
   let buf = Buffer.create 256 in
   let rec loop () =
@@ -169,6 +178,21 @@ let interactive system =
         | [ "compile"; "off" ] ->
           Sqlf.Compile.enabled := false;
           print_endline "expression compilation disabled (interpreter in use)"
+        | [ "checkpoint" ] -> (
+          match durable with
+          | None -> print_endline "no data directory open (start with --data-dir)"
+          | Some d -> (
+            match Durability.Durable.checkpoint d with
+            | () ->
+              Printf.printf "checkpoint written (generation %d)\n"
+                (Durability.Durable.generation d)
+            | exception Errors.Error e -> print_error e))
+        | [ "wal"; "status" ] -> (
+          match durable with
+          | None -> print_endline "no data directory open (start with --data-dir)"
+          | Some d ->
+            Format.printf "%a@." Durability.Durable.pp_status
+              (Durability.Durable.status d))
         | [ "help" ] -> print_endline help_text
         | _ -> Printf.printf "unknown meta-command %s\n" trimmed);
         loop ()
@@ -183,7 +207,7 @@ let interactive system =
         if ends_stmt then begin
           let sql = Buffer.contents buf in
           Buffer.clear buf;
-          exec_and_print system sql
+          exec_and_print ?durable system sql
         end;
         loop ()
       end
@@ -191,18 +215,39 @@ let interactive system =
   (try loop () with Exit -> ());
   print_endline "bye."
 
-let run file expr interactive_flag track_selects max_steps =
+let run file expr interactive_flag track_selects max_steps data_dir
+    checkpoint_every =
   let config =
     { Engine.default_config with track_selects; max_steps }
   in
-  let system = System.create ~config () in
+  let durable, system =
+    match data_dir with
+    | None -> (None, System.create ~config ())
+    | Some dir ->
+      let checkpoint_interval =
+        if checkpoint_every > 0 then Some checkpoint_every else None
+      in
+      let d, info =
+        Durability.Durable.open_dir ~config ?checkpoint_interval dir
+      in
+      if info.Durability.Recovery.ri_records > 0
+         || info.Durability.Recovery.ri_checkpoint_used
+         || info.Durability.Recovery.ri_torn
+      then
+        Format.printf "recovered %s: %a@." dir Durability.Recovery.pp_info info;
+      (Some d, Durability.Durable.system d)
+  in
   (match file with
   | Some path ->
     let sql = In_channel.with_open_text path In_channel.input_all in
-    exec_and_print system sql
+    exec_and_print ?durable system sql
   | None -> ());
-  (match expr with Some sql -> exec_and_print system sql | None -> ());
-  if interactive_flag || (file = None && expr = None) then interactive system
+  (match expr with
+  | Some sql -> exec_and_print ?durable system sql
+  | None -> ());
+  if interactive_flag || (file = None && expr = None) then
+    interactive ?durable system;
+  Option.iter Durability.Durable.close durable
 
 open Cmdliner
 
@@ -241,6 +286,25 @@ let max_steps_arg =
           "Abort (and roll back) a transaction after $(docv) rule-action \
            executions: the run-time guard against divergent rule sets.")
 
+let data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the database in $(docv): recover its state on startup, \
+           then write-ahead-log every committed transition. The directory is \
+           created if absent.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "With --data-dir, automatically checkpoint after $(docv) WAL \
+           records (0, the default, disables automatic checkpoints; \
+           \\\\checkpoint forces one).")
+
 let cmd =
   let doc = "set-oriented production rules on a relational database" in
   let man =
@@ -257,6 +321,6 @@ let cmd =
     (Cmd.info "sopr" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ file_arg $ expr_arg $ interactive_arg $ track_selects_arg
-      $ max_steps_arg)
+      $ max_steps_arg $ data_dir_arg $ checkpoint_every_arg)
 
 let () = exit (Cmd.eval cmd)

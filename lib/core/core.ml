@@ -37,17 +37,60 @@ module Priority = Rules.Priority
 let placeholder () = ()
 
 module System = struct
-  type t = { engine : Engine.t }
+  type t = {
+    engine : Engine.t;
+    mutable on_ddl : (string -> unit) option;
+        (* durability seam: called with a catalog statement's concrete
+           syntax before the statement is applied (write-ahead), so a
+           WAL can replay the catalog by re-executing the text *)
+  }
 
   type exec_result =
     | Msg of string
     | Relation of Eval.relation
     | Outcome of Engine.outcome
 
-  let create ?config () = { engine = Engine.create ?config Database.empty }
-  let of_engine engine = { engine }
+  let create ?config () =
+    { engine = Engine.create ?config Database.empty; on_ddl = None }
+
+  let of_engine engine = { engine; on_ddl = None }
   let engine t = t.engine
   let database t = Engine.database t.engine
+  let set_ddl_hook t hook = t.on_ddl <- hook
+
+  (* Catalog statements are logged write-ahead: the hook sees the text
+     before the statement runs, so a statement that then fails
+     validation leaves a record whose replay deterministically fails
+     the same way (recovery skips it).  The alternative — logging after
+     success — would lose a statement that succeeded just before a
+     crash between apply and append. *)
+  let is_ddl (stmt : Ast.statement) =
+    match stmt with
+    | Ast.Stmt_create_table _ | Ast.Stmt_drop_table _ | Ast.Stmt_create_rule _
+    | Ast.Stmt_drop_rule _ | Ast.Stmt_priority _ | Ast.Stmt_activate _
+    | Ast.Stmt_deactivate _ | Ast.Stmt_create_assertion _
+    | Ast.Stmt_drop_assertion _ | Ast.Stmt_create_index _
+    | Ast.Stmt_drop_index _ ->
+      true
+    | Ast.Stmt_begin | Ast.Stmt_commit | Ast.Stmt_rollback
+    | Ast.Stmt_process_rules | Ast.Stmt_op _ | Ast.Stmt_show_tables
+    | Ast.Stmt_show_rules | Ast.Stmt_explain _ | Ast.Stmt_describe _ ->
+      false
+
+  (* Replay of a logged statement always happens outside a transaction,
+     so only statements whose outcome is independent of transaction
+     state may be logged.  Catalog-state-dependent failures (duplicate
+     table, unknown rule) replay deterministically; the
+     rejected-inside-a-transaction failure of table/index DDL does not —
+     replay would succeed where the original failed — so those
+     statements are not logged while a transaction is open (the engine
+     is about to reject them anyway). *)
+  let txn_sensitive_ddl (stmt : Ast.statement) =
+    match stmt with
+    | Ast.Stmt_create_table _ | Ast.Stmt_drop_table _ | Ast.Stmt_create_index _
+    | Ast.Stmt_drop_index _ ->
+      true
+    | _ -> false
 
   let register_procedure t name fn =
     Engine.register_procedure t.engine name fn
@@ -102,6 +145,12 @@ module System = struct
 
   let exec_statement t (stmt : Ast.statement) : exec_result =
     let eng = t.engine in
+    (match t.on_ddl with
+    | Some hook
+      when is_ddl stmt
+           && not (Engine.in_transaction eng && txn_sensitive_ddl stmt) ->
+      hook (Pretty.statement_str stmt)
+    | _ -> ());
     match stmt with
     | Ast.Stmt_create_table ct -> create_table t ct
     | Ast.Stmt_drop_table name ->

@@ -55,6 +55,13 @@ module System : sig
   (** Register an OCaml procedure callable from rule actions
       ([then call name], paper Section 5.2). *)
 
+  val set_ddl_hook : t -> (string -> unit) option -> unit
+  (** Install (or remove) the catalog-durability seam: the hook is
+      called with each catalog statement's concrete syntax {e before}
+      the statement is applied (write-ahead), so a WAL can replay the
+      catalog by re-executing the text.  If the hook raises, the
+      statement is not executed. *)
+
   val exec : t -> string -> exec_result list
   (** Execute a [';']-separated script.  Outside an explicit
       transaction each DML statement is its own operation block /

@@ -1,0 +1,54 @@
+(** Crash recovery: latest valid checkpoint + WAL-suffix replay.
+
+    The recovery invariant: after a crash at any point, {!restore}
+    produces exactly the state of the committed-transition prefix whose
+    WAL records were durable at the moment of death — no half-applied
+    transaction, no lost committed transition.  Rule processing never
+    re-runs on replay; logged transaction effects already include every
+    rule firing. *)
+
+open Core
+
+(** What a checkpoint stores: the engine's marshal-safe image plus the
+    process-global handle counter and the WAL sequence the next record
+    will carry.  Exposed so {!Durable} writes the same type recovery
+    reads. *)
+type checkpoint_image = {
+  cp_engine : Engine.durable_image;
+  cp_handle_ctr : int;
+  cp_next_seq : int;
+}
+
+val marshal_image : checkpoint_image -> string
+val unmarshal_image : string -> checkpoint_image option
+
+(** How a restoration went — surfaced by the REPL on startup and
+    asserted on by the harness. *)
+type info = {
+  ri_gen : int;  (** checkpoint/WAL generation restored from *)
+  ri_checkpoint_used : bool;
+  ri_records : int;  (** WAL records replayed *)
+  ri_last_seq : int;  (** sequence of the last durable record; 0 if none *)
+  ri_torn : bool;  (** the WAL ended in a discarded torn tail *)
+  ri_skipped_ddl : int;
+      (** logged DDL whose replay failed — statements that already
+          failed when originally executed (DDL is logged write-ahead) *)
+}
+
+val pp_info : Format.formatter -> info -> unit
+
+val restore : ?config:Engine.config -> string -> System.t * info
+(** Rebuild the system a data directory describes: load the newest
+    valid checkpoint (if any), replay the WAL suffix in order, discard
+    a torn tail.  A missing or empty directory restores a fresh empty
+    system.  The returned system has no durability hooks attached —
+    {!Durable.open_dir} is the entry point that both restores and
+    resumes logging. *)
+
+val fingerprint : ?handles:bool -> System.t -> string
+(** Canonical rendering of all durable state: schemas, indexes, tuples
+    in handle order, rules (definition, sequence, activation) and
+    priorities.  [handles:true] (default) includes tuple handle ids —
+    equality means indistinguishable states, identity included;
+    [handles:false] compares values only, for differencing against an
+    independent oracle run whose handle ids necessarily differ. *)

@@ -1,0 +1,141 @@
+(* Checkpoint store: numbered, CRC-validated snapshots published by
+   atomic rename.
+
+   A checkpoint bounds recovery work: restore loads the newest valid
+   checkpoint and replays only the WAL generation that follows it.
+   This module is payload-agnostic — it stores opaque bytes; the
+   durability layer above decides what a database image contains
+   (catalog, tables, rule definitions, counters) and how to marshal
+   it.  Keeping the framing here means the torn/corrupt-file handling
+   is shared with the WAL and testable in isolation.
+
+   Publication protocol, with its two fault sites:
+
+     1. [Fault.Checkpoint_write]  — a crash before any byte exists
+     2. write checkpoint.tmp, flush, fsync
+     3. [Fault.Checkpoint_rename] — tmp is durable but not published
+     4. rename checkpoint.tmp -> checkpoint.%06d   (atomic)
+     5. fsync the directory (best effort)
+
+   A crash at any step leaves either no new file or a stray tmp (which
+   [latest] ignores and the next checkpoint overwrites) — the previous
+   generation stays the newest valid checkpoint until the rename
+   lands, so recovery never sees a half-written snapshot. *)
+
+let file_header = "SOPRCKPT1\n"
+
+let file_name gen = Printf.sprintf "checkpoint.%06d" gen
+let path ~dir ~gen = Filename.concat dir (file_name gen)
+let tmp_path ~dir = Filename.concat dir "checkpoint.tmp"
+
+let put_le bytes off width v =
+  for i = 0 to width - 1 do
+    Bytes.set bytes (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_le s off width =
+  let v = ref 0 in
+  for i = width - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+(* header | gen:8 LE | len:8 LE | crc32:4 LE | payload *)
+let header_len = String.length file_header + 8 + 8 + 4
+
+let encode ~gen payload =
+  let hdr = String.length file_header in
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len) in
+  Bytes.blit_string file_header 0 b 0 hdr;
+  put_le b hdr 8 gen;
+  put_le b (hdr + 8) 8 len;
+  put_le b (hdr + 16) 4 (Wal.crc32 payload);
+  Bytes.blit_string payload 0 b header_len len;
+  Bytes.unsafe_to_string b
+
+(* Decode a checkpoint file's bytes; [None] for anything that is not a
+   complete, CRC-valid snapshot of the expected generation. *)
+let decode ~gen contents =
+  let hdr = String.length file_header in
+  if String.length contents < header_len then None
+  else if String.sub contents 0 hdr <> file_header then None
+  else
+    let file_gen = get_le contents hdr 8 in
+    let len = get_le contents (hdr + 8) 8 in
+    let crc = get_le contents (hdr + 16) 4 in
+    if file_gen <> gen then None
+    else if String.length contents <> header_len + len then None
+    else
+      let payload = String.sub contents header_len len in
+      if Wal.crc32 payload <> crc then None else Some payload
+
+let write_fully fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd b !written (len - !written)
+  done
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write ~dir ~gen payload =
+  Fault.hit Fault.Checkpoint_write;
+  let tmp = tmp_path ~dir in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (match
+     write_fully fd (encode ~gen payload);
+     Unix.fsync fd
+   with
+  | () -> Unix.close fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  Fault.hit Fault.Checkpoint_rename;
+  Unix.rename tmp (path ~dir ~gen);
+  fsync_dir dir
+
+let read ~dir ~gen =
+  let p = path ~dir ~gen in
+  if not (Sys.file_exists p) then None
+  else
+    let ic = open_in_bin p in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    decode ~gen contents
+
+(* All generations with a checkpoint file present, ascending.  Presence
+   is not validity: [latest] re-reads and CRC-checks from the newest
+   down. *)
+let generations ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match Scanf.sscanf_opt name "checkpoint.%06d%!" (fun g -> g) with
+           | Some g when file_name g = name -> Some g
+           | _ -> None)
+    |> List.sort compare
+
+let latest ~dir =
+  let rec newest_valid = function
+    | [] -> None
+    | gen :: older -> (
+      match read ~dir ~gen with
+      | Some payload -> Some (gen, payload)
+      | None -> newest_valid older)
+  in
+  newest_valid (List.rev (generations ~dir))
+
+let remove ~dir ~gen =
+  let p = path ~dir ~gen in
+  if Sys.file_exists p then Sys.remove p

@@ -1,0 +1,37 @@
+(** Checkpoint store: numbered, CRC-validated snapshots published by
+    atomic rename.
+
+    Payload-agnostic: stores opaque bytes under a generation number.
+    The durability layer decides what a snapshot contains; this module
+    guarantees that {!latest} only ever returns a complete, CRC-valid
+    snapshot — a crash during {!write} leaves the previous generation
+    in place.
+
+    {!write} passes {!Fault.Checkpoint_write} before the temp file is
+    written and {!Fault.Checkpoint_rename} after the temp file is
+    durable but before the atomic rename publishes it. *)
+
+val file_name : int -> string
+(** [file_name gen] = ["checkpoint.%06d"]. *)
+
+val path : dir:string -> gen:int -> string
+
+val write : dir:string -> gen:int -> string -> unit
+(** Durably publish a snapshot: temp file + fsync + atomic rename +
+    directory fsync. *)
+
+val read : dir:string -> gen:int -> string option
+(** The generation's payload, or [None] if missing, incomplete or
+    corrupt. *)
+
+val latest : dir:string -> (int * string) option
+(** The newest generation with a valid snapshot.  Invalid newer files
+    (from a crash mid-publication with a non-atomic filesystem, or
+    manual corruption) are skipped, not fatal. *)
+
+val generations : dir:string -> int list
+(** Generations with a checkpoint file present (valid or not),
+    ascending.  A missing directory reads as empty. *)
+
+val remove : dir:string -> gen:int -> unit
+(** Delete one generation's snapshot if present (checkpoint pruning). *)

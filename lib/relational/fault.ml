@@ -28,11 +28,21 @@ type site =
   | Rule_action  (** rule action execution in the engine *)
   | Procedure_call  (** external procedure invocation (Section 5.2) *)
   | Commit_point  (** commit finalization, after rule processing succeeded *)
+  | Wal_append  (** before a WAL record's bytes are written (record lost) *)
+  | Wal_fsync  (** after a WAL record is written and fsynced (record durable) *)
+  | Checkpoint_write  (** before the checkpoint temp file is written *)
+  | Checkpoint_rename
+      (** after the temp file is durable, before the atomic rename *)
 
 exception Injected of site
 
-let all_sites =
+let engine_sites =
   [ Dml_op; Query_eval; Rule_condition; Rule_action; Procedure_call; Commit_point ]
+
+let durability_sites =
+  [ Wal_append; Wal_fsync; Checkpoint_write; Checkpoint_rename ]
+
+let all_sites = engine_sites @ durability_sites
 
 let site_name = function
   | Dml_op -> "dml-op"
@@ -41,6 +51,10 @@ let site_name = function
   | Rule_action -> "rule-action"
   | Procedure_call -> "procedure-call"
   | Commit_point -> "commit-point"
+  | Wal_append -> "wal-append"
+  | Wal_fsync -> "wal-fsync"
+  | Checkpoint_write -> "checkpoint-write"
+  | Checkpoint_rename -> "checkpoint-rename"
 
 (* master switch: when false, [hit] is a no-op and nothing is counted *)
 let enabled = ref false
@@ -75,6 +89,19 @@ let arm n =
 let disarm () =
   armed := 0;
   observed := 0
+
+(* Full teardown for test harnesses.  The countdown state is
+   process-global, so a harness that raises between [arm] and [disarm]
+   (an alcotest failure, a qcheck shrink re-run) would otherwise leak an
+   armed countdown into whatever test runs next; calling [reset] from a
+   [Fun.protect] finalizer makes that impossible.  Per-site cumulative
+   counts survive a reset — they are cross-test coverage evidence, not
+   armed state. *)
+let reset () =
+  enabled := false;
+  armed := 0;
+  observed := 0;
+  last_injected := None
 
 let observed_hits () = !observed
 let injected () = !last_injected

@@ -22,6 +22,17 @@ type site =
   | Rule_action  (** rule action execution in the engine *)
   | Procedure_call  (** external procedure invocation (Section 5.2) *)
   | Commit_point  (** commit finalization, after rule processing succeeded *)
+  | Wal_append
+      (** before a WAL record's bytes reach the file: a crash here loses
+          the record entirely *)
+  | Wal_fsync
+      (** after a WAL record is written, flushed and fsynced: a crash
+          here leaves the record durable even though the writer never
+          saw the append return *)
+  | Checkpoint_write  (** before the checkpoint temp file is written *)
+  | Checkpoint_rename
+      (** after the temp file is durable, before the atomic rename
+          publishes it *)
 
 exception Injected of site
 (** The injected fault.  Deliberately not an {!Errors.Error}: harnesses
@@ -29,6 +40,17 @@ exception Injected of site
     error. *)
 
 val all_sites : site list
+
+val engine_sites : site list
+(** The sites on the in-memory execution path (DML, rules, commit) —
+    the PR 2 exception-safety surface.  A purely in-memory workload
+    never passes a durability site, so coverage assertions for such
+    harnesses quantify over this list. *)
+
+val durability_sites : site list
+(** The sites on the WAL/checkpoint path, passed only when a durable
+    sink is attached. *)
+
 val site_name : site -> string
 
 val enable : bool -> unit
@@ -43,6 +65,16 @@ val arm : int -> unit
 val disarm : unit -> unit
 (** Cancel a pending countdown and zero the observation counter;
     counting stays in whatever state {!enable} chose. *)
+
+val reset : unit -> unit
+(** Return the module to its pristine disabled state: disabled,
+    disarmed, observation counter and last-injected site cleared.  The
+    countdown is process-global mutable state, so every harness that
+    arms it must call [reset] from a [Fun.protect] finalizer —
+    otherwise a test aborted between [arm] and the fault (an alcotest
+    failure, an interrupted qcheck shrink run) leaks an armed countdown
+    into the next test.  Cumulative per-site counts are kept (see
+    {!reset_site_counts}). *)
 
 val observed_hits : unit -> int
 (** Hits observed since the last {!arm} or {!disarm}. *)

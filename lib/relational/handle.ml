@@ -14,6 +14,13 @@ let fresh table =
   incr counter;
   { id = !counter; table }
 
+(* Recovery support: WAL replay re-creates tuples under their original
+   handle ids, and after replay advances the counter so handles minted
+   by the recovered process never collide with logged ones. *)
+let restore ~id table = { id; table }
+let counter_value () = !counter
+let advance_counter n = if n > !counter then counter := n
+
 let id h = h.id
 let table h = h.table
 let equal a b = a.id = b.id

@@ -12,6 +12,24 @@ val fresh : string -> t
     are globally unique for the lifetime of the process and never
     reused. *)
 
+val restore : id:int -> string -> t
+(** [restore ~id table] rebuilds the handle a write-ahead-log record
+    named.  For recovery only: the caller is responsible for replaying
+    a log that minted [id] in the first place, and for
+    {!advance_counter} afterwards so future {!fresh} handles stay
+    unique. *)
+
+val counter_value : unit -> int
+(** The current value of the global handle counter (the id of the most
+    recently minted handle).  Logged at each commit so recovery can
+    restore uniqueness. *)
+
+val advance_counter : int -> unit
+(** [advance_counter n] makes the global counter at least [n]: handles
+    minted from now on have ids greater than [n].  Never decreases the
+    counter, so it is safe when other databases live in the same
+    process. *)
+
 val id : t -> int
 val table : t -> string
 (** The name of the table the handle's tuple belongs (or belonged) to. *)

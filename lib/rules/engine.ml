@@ -94,6 +94,16 @@ type rule_report_row = {
   rr_effect_tuples : int;
 }
 
+(* What a commit hook sees: the state the transaction started from, the
+   state it commits, and the composite net effect connecting them —
+   rule firings already folded in.  The WAL layer derives its physical
+   record from this; the engine itself has no durability knowledge. *)
+type txn_log = {
+  txl_before : Database.t;
+  txl_after : Database.t;
+  txl_effect : Effect.t;
+}
+
 type t = {
   mutable db : Database.t;
   mutable ddl_gen : int;
@@ -106,6 +116,11 @@ type t = {
   mutable txn_start : Database.t option; (* Some while a transaction is open *)
   mutable trans_start : Database.t; (* state at current external transition start *)
   mutable pending : Effect.t; (* composite effect of the unprocessed external transition *)
+  mutable txn_effect : Effect.t;
+      (* composite effect of the whole transaction so far — external
+         blocks and rule firings alike — maintained incrementally so
+         the commit hook (WAL logging) never diffs database states *)
+  mutable commit_hook : (txn_log -> unit) option;
   mutable seq : int;
   clock : Selection.clock;
   mutable last_considered : int Str_map.t;
@@ -140,6 +155,8 @@ let create ?(config = default_config) db =
     txn_start = None;
     trans_start = db;
     pending = Effect.empty;
+    txn_effect = Effect.empty;
+    commit_hook = None;
     seq = 0;
     clock = Selection.make_clock ();
     last_considered = Str_map.empty;
@@ -166,6 +183,8 @@ let create ?(config = default_config) db =
 let database t = t.db
 let transition_start t = t.trans_start
 let stats t = t.stats
+let ddl_generation t = t.ddl_gen
+let set_commit_hook t hook = t.commit_hook <- hook
 
 (* Access-path hooks for the evaluator: column metadata and index
    probes are served from the same database state the accompanying
@@ -451,6 +470,7 @@ let begin_txn t =
   t.txn_start <- Some t.db;
   t.trans_start <- t.db;
   t.pending <- Effect.empty;
+  t.txn_effect <- Effect.empty;
   t.considered0 <- t.last_considered;
   t.trace <- [];
   t.stats.transactions <- t.stats.transactions + 1
@@ -508,6 +528,7 @@ let submit_ops t (ops : Ast.op list) =
   match run_ops t ~resolver_of:external_resolver ops with
   | eff, results ->
     t.pending <- Effect.compose t.pending eff;
+    t.txn_effect <- Effect.compose t.txn_effect eff;
     results
   | exception e ->
     t.db <- db0;
@@ -531,6 +552,7 @@ let restore_txn_start t =
   | None -> assert false);
   t.txn_start <- None;
   t.pending <- Effect.empty;
+  t.txn_effect <- Effect.empty;
   t.infos <- Str_map.empty;
   t.last_considered <- t.considered0
 
@@ -678,6 +700,7 @@ let process_rules_exn t =
                 let ops = action_block t rule resolve in
                 run_ops t ~resolver_of ops)
         in
+        t.txn_effect <- Effect.compose t.txn_effect eff;
         m.m_fired <- m.m_fired + 1;
         m.m_effect_tuples <- m.m_effect_tuples + Effect.cardinality eff;
         record t
@@ -737,12 +760,26 @@ let process_rules t =
 let commit t =
   match process_rules t with
   | Committed -> (
-    (* commit finalization is itself an injection site: a failure after
-       rule processing but before the transaction closes must still
-       restore the exact start state *)
-    match Fault.hit Fault.Commit_point with
+    (* commit finalization is itself an injection site, and the commit
+       hook (WAL logging) runs here too: after rule processing
+       succeeded, while the transaction-start snapshot is still held.
+       A failure in either must still restore the exact start state —
+       for the hook this is the write-ahead invariant's flip side: a
+       transaction whose log record did not become durable never
+       happened, so its in-memory effects must vanish too. *)
+    match
+      Fault.hit Fault.Commit_point;
+      match t.commit_hook with
+      | None -> ()
+      | Some hook ->
+        let before =
+          match t.txn_start with Some db -> db | None -> assert false
+        in
+        hook { txl_before = before; txl_after = t.db; txl_effect = t.txn_effect }
+    with
     | () ->
       t.txn_start <- None;
+      t.txn_effect <- Effect.empty;
       t.infos <- Str_map.empty;
       Committed
     | exception e ->
@@ -891,3 +928,61 @@ let drop_index t ix_name =
       (Errors.Transaction_error "DDL inside a transaction is not supported");
   t.db <- Database.drop_index t.db ix_name;
   t.ddl_gen <- t.ddl_gen + 1
+
+(* ------------------------------------------------------------------ *)
+(* Durability support                                                  *)
+
+(* The checkpointable essence of an engine: the database state plus the
+   rule catalog as *data*.  Rule.t values carry compiled-closure caches
+   that cannot be marshalled, so the image stores (definition, seq,
+   active) triples and restoration rebuilds the rules — the caches
+   refill lazily on first consideration.  Everything else in [t] is
+   either derivable (metrics, stats, traces start empty in a recovered
+   process) or transaction-scoped state that a quiescent engine does
+   not have. *)
+type durable_image = {
+  di_db : Database.t;
+  di_rules : (Ast.rule_def * int * bool) list; (* def, seq, active *)
+  di_priorities : (string * string) list; (* (high, low) pairs *)
+  di_seq : int;
+  di_ddl_gen : int;
+}
+
+let durable_image t =
+  if in_transaction t then
+    Errors.raise_error
+      (Errors.Transaction_error "cannot snapshot inside a transaction");
+  {
+    di_db = t.db;
+    di_rules =
+      List.map (fun r -> (r.Rule.def, r.Rule.seq, r.Rule.active)) t.rules;
+    di_priorities = Priority.pairs t.priorities;
+    di_seq = t.seq;
+    di_ddl_gen = t.ddl_gen;
+  }
+
+let of_durable_image ?config img =
+  let t = create ?config img.di_db in
+  t.rules <-
+    List.map
+      (fun (def, seq, active) ->
+        let r = Rule.create ~seq def in
+        if active then r else { r with Rule.active })
+      img.di_rules;
+  t.priorities <-
+    List.fold_left
+      (fun p (high, low) -> Priority.declare p ~high ~low)
+      Priority.empty img.di_priorities;
+  t.seq <- img.di_seq;
+  t.ddl_gen <- img.di_ddl_gen;
+  t
+
+(* WAL replay applies physical tuple operations below the transition
+   model — no transition, no rule processing — so it swaps whole
+   database states in. *)
+let restore_database t db =
+  if in_transaction t then
+    Errors.raise_error
+      (Errors.Transaction_error "cannot restore inside a transaction");
+  t.db <- db;
+  t.trans_start <- db

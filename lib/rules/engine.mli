@@ -87,6 +87,16 @@ type rule_report_row = {
 
 type t
 
+(** What a commit hook observes: the state the transaction started
+    from, the state it commits, and the composite net effect connecting
+    them (external blocks and rule firings already folded together via
+    effect composition, Definition 2.1). *)
+type txn_log = {
+  txl_before : Database.t;
+  txl_after : Database.t;
+  txl_effect : Effect.t;
+}
+
 val create : ?config:config -> Database.t -> t
 val database : t -> Database.t
 
@@ -225,3 +235,50 @@ val create_index : t -> ix_name:string -> table:string -> column:string -> unit
 
 val drop_index : t -> string -> unit
 (** Index names are database-wide, so only the name is needed. *)
+
+(** {2 Durability hooks}
+
+    The engine has no knowledge of files or logs; a durability layer
+    attaches through three narrow seams: a commit hook observing every
+    committed transition, a marshal-safe image of the quiescent engine
+    for checkpoints, and state restoration for WAL replay. *)
+
+val set_commit_hook : t -> (txn_log -> unit) option -> unit
+(** Install (or remove) the commit hook.  It runs at the commit point —
+    after rule processing succeeded and the {!Fault.Commit_point} site
+    passed, while the transaction-start snapshot is still held — and is
+    the write-ahead seam: if the hook raises (a WAL append failure),
+    the transaction aborts and the exact start state is restored, so a
+    transition is in memory iff its log record was durably appended
+    (modulo a crash between fsync and return, which recovery resolves
+    in favour of the log). *)
+
+val ddl_generation : t -> int
+(** The catalog generation counter (bumped by every DDL statement);
+    recorded in checkpoints. *)
+
+(** Marshal-safe image of a quiescent engine: the database state plus
+    the rule catalog as data ((definition, seq, active) triples and
+    priority pairs — compiled forms are process-local and rebuilt
+    lazily after restoration). *)
+type durable_image = {
+  di_db : Database.t;
+  di_rules : (Ast.rule_def * int * bool) list;
+  di_priorities : (string * string) list;
+  di_seq : int;
+  di_ddl_gen : int;
+}
+
+val durable_image : t -> durable_image
+(** Raises [Transaction_error] inside a transaction: checkpoints cover
+    committed states only. *)
+
+val of_durable_image : ?config:config -> durable_image -> t
+(** Rebuild an engine from a checkpoint image.  Statistics, metrics and
+    traces start empty; registered procedures must be re-registered by
+    the host (they are code, not data). *)
+
+val restore_database : t -> Database.t -> unit
+(** Replace the engine's database state (and transition-start snapshot)
+    outside any transaction — the WAL-replay primitive.  Raises
+    [Transaction_error] inside a transaction. *)

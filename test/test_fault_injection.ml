@@ -49,9 +49,14 @@ let parse_ops sql =
       | _ -> Alcotest.fail "expected DML statements")
     (Parser.parse_script sql)
 
-(* Every test that arms the fault module must disarm it on any exit. *)
+(* Every test that arms the fault module must return it to its pristine
+   state on ANY exit.  [Fault.reset] (not just [enable false]) matters:
+   the countdown is process-global, so a test aborted between [arm] and
+   the fault — an alcotest failure, an interrupted qcheck shrink run —
+   would otherwise leak an armed countdown into the next test (see the
+   leak-regression test below). *)
 let with_faults f =
-  Fun.protect ~finally:(fun () -> Fault.enable false) f
+  Fun.protect ~finally:Fault.reset f
 
 (* ------------------------------------------------------------------ *)
 (* Regression: a failing operation mid-block must not leave the        *)
@@ -489,7 +494,33 @@ let test_coverage () =
         (Printf.sprintf "site %s was faulted (%d injections)"
            (Fault.site_name site) n)
         true (n > 0))
-    Fault.all_sites
+    (* this harness drives a purely in-memory workload, which never
+       passes a WAL or checkpoint site; those are covered by the
+       recovery suite's own coverage assertion *)
+    Fault.engine_sites
+
+(* Regression for the countdown-leak bug: a harness that armed the
+   module and then died before its workload reached the fault used to
+   leave the countdown armed for whatever ran next.  [with_faults]'s
+   [Fault.reset] finalizer must fully disarm even when the body
+   escapes with an exception. *)
+let test_no_countdown_leak () =
+  (try
+     with_faults (fun () ->
+         Fault.arm 1000;
+         (* die before any hit consumes the countdown, as an aborted
+            qcheck shrink run would *)
+         failwith "harness died mid-run")
+   with Failure _ -> ());
+  (* a pristine module: hits are no-ops and nothing can fire *)
+  Fault.hit Fault.Dml_op;
+  Alcotest.(check int) "disabled after leak-prone exit" 0
+    (Fault.observed_hits ());
+  Alcotest.(check bool) "no pending injection" true (Fault.injected () = None);
+  let s = system "create table leakcheck (a int)" in
+  run s "insert into leakcheck values (1)";
+  Alcotest.(check int) "workload unaffected" 1
+    (int_cell s "select count(*) from leakcheck")
 
 let suite =
   [
@@ -512,4 +543,8 @@ let suite =
       test_systematic_differential;
   ]
   @ List.map (fun combo -> qtest (prop_matrix combo)) config_matrix
-  @ [ Alcotest.test_case "harness coverage" `Slow test_coverage ]
+  @ [
+      Alcotest.test_case "harness coverage" `Slow test_coverage;
+      Alcotest.test_case "no armed-countdown leak on aborted harness" `Quick
+        test_no_countdown_leak;
+    ]

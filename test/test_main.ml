@@ -28,5 +28,6 @@ let () =
       ("explain", Test_explain.suite);
       ("compile-diff", Test_compile_diff.suite);
     ("fault-injection", Test_fault_injection.suite);
+      ("recovery", Test_recovery.suite);
       ("config-matrix", Test_config_matrix.suite);
     ]

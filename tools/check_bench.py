@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Schema check for benchmark result files (BENCH_*.json).
+
+Every machine-readable benchmark record the harness emits must:
+
+  - be valid JSON with the envelope keys ``experiment`` (non-empty
+    string), ``tiny`` (bool) and ``results`` (non-empty list);
+  - contain only finite numbers (no NaN/Infinity smuggled in via the
+    lax JSON parsers some tools use);
+  - when checked in (``--checked-in``), come from a full-size run
+    (``tiny`` must be false — tiny-mode numbers are meaningless and
+    exist only to prove the experiments execute).
+
+Usage:  check_bench.py [--checked-in] FILE [FILE ...]
+"""
+
+import json
+import math
+import sys
+
+
+def walk_numbers(node, path, problems):
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        if not math.isfinite(node):
+            problems.append(f"{path}: non-finite number {node!r}")
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            walk_numbers(value, f"{path}.{key}", problems)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            walk_numbers(value, f"{path}[{i}]", problems)
+
+
+def check_file(filename, checked_in):
+    problems = []
+    try:
+        with open(filename) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable or invalid JSON: {exc}"]
+
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+
+    experiment = doc.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        problems.append("missing or empty 'experiment'")
+
+    tiny = doc.get("tiny")
+    if not isinstance(tiny, bool):
+        problems.append("'tiny' missing or not a boolean")
+    elif checked_in and tiny:
+        problems.append("checked-in results must come from a full run (tiny=false)")
+
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("'results' missing, not a list, or empty")
+    else:
+        for i, row in enumerate(results):
+            if not isinstance(row, dict) or not row:
+                problems.append(f"results[{i}] is not a non-empty object")
+
+    walk_numbers(doc, "$", problems)
+    return problems
+
+
+def main(argv):
+    args = argv[1:]
+    checked_in = "--checked-in" in args
+    files = [a for a in args if a != "--checked-in"]
+    if not files:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    failed = False
+    for filename in files:
+        problems = check_file(filename, checked_in)
+        if problems:
+            failed = True
+            for p in problems:
+                print(f"{filename}: {p}", file=sys.stderr)
+        else:
+            print(f"{filename}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
