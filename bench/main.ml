@@ -22,6 +22,7 @@
      E14 (observability)     instrumentation overhead when off/on
      E15 (ablation)          compiled closures vs the interpreter
      E16 (durability)        WAL overhead, recovery time, checkpoints
+     E17 (workload corpus)   per-scenario txn/s under the generator
 
    Run with:  dune exec bench/main.exe            (all experiments)
               dune exec bench/main.exe -- E2 E3   (a subset)            *)
@@ -1127,11 +1128,88 @@ let e16 () =
   in
   write_e16_json "BENCH_PR5.json" rows
 
+(* ------------------------------------------------------------------ *)
+(* E17: the scenario corpus under the YCSB-style generator — sustained
+   transactions/second per scenario, and the cost of a dense rule set
+   (the rule-density knob installs never-firing rules the engine must
+   still consider every transition).  Unlike E1–E16 this measures
+   whole mixed transactions (reads and writes, rule processing, index
+   maintenance) over the same workloads the soak harness verifies.    *)
+
+let e17_profile =
+  {
+    Workload.Profile.default with
+    Workload.Profile.txns = (if tiny then 40 else 200);
+    theta = 0.75;
+  }
+
+let e17_duration = if tiny then 0.05 else 1.0
+
+let write_e17_json path rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"E17\",\n  \"description\": \"scenario corpus \
+        under the YCSB-style workload generator: sustained transaction \
+        throughput per scenario, with and without a dense rule set\",\n  \
+        \"unit\": \"txn_per_s\",\n  \"tiny\": %b,\n  \"results\": [\n"
+       tiny);
+  List.iteri
+    (fun i (arm, density, txn_s, txns) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"arm\": \"%s\", \"rule_density\": %d, \"txn_per_s\": %.1f, \
+            \"txns\": %d}%s\n"
+           arm density txn_s txns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nresults written to %s\n" path
+
+let e17 () =
+  print_header "E17" "scenario corpus throughput (workload generator)"
+    "mixed read/write transactions with Zipfian key skew, rules firing on \
+     every write path; padding the rule set with never-firing rules prices \
+     rule-set consideration per transition";
+  Workload.Scenarios.register_all ();
+  let densities = [ 0; 32 ] in
+  let rows =
+    List.concat_map
+      (fun sc ->
+        List.map
+          (fun density ->
+            let profile =
+              { e17_profile with Workload.Profile.rule_density = density }
+            in
+            let txn_s, txns =
+              Workload.Runner.throughput ~duration:e17_duration sc profile
+            in
+            (sc.Workload.Scenario.sc_name, density, txn_s, txns))
+          densities)
+      (Workload.Scenario.all ())
+  in
+  print_table
+    [ "scenario"; "extra rules"; "txn/s"; "txns measured" ]
+    (List.map
+       (fun (arm, density, txn_s, txns) ->
+         [
+           arm;
+           string_of_int density;
+           Printf.sprintf "%10.0f" txn_s;
+           string_of_int txns;
+         ])
+       rows);
+  write_e17_json "BENCH_PR6.json" rows
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17);
   ]
 
 let () =

@@ -1,0 +1,104 @@
+(* Workload profiles and the seeded YCSB-style sampler. *)
+
+type t = {
+  seed : int;
+  txns : int;
+  min_ops : int;
+  max_ops : int;
+  read_frac : float;
+  keys : int;
+  theta : float;
+  rule_density : int;
+}
+
+let default =
+  {
+    seed = 42;
+    txns = 100;
+    min_ops = 1;
+    max_ops = 4;
+    read_frac = 0.25;
+    keys = 64;
+    theta = 0.6;
+    rule_density = 0;
+  }
+
+let validate p =
+  let bad fmt = Printf.ksprintf invalid_arg fmt in
+  if p.keys < 1 then bad "workload profile: keys must be >= 1 (got %d)" p.keys;
+  if p.txns < 0 then bad "workload profile: txns must be >= 0 (got %d)" p.txns;
+  if p.min_ops < 1 then
+    bad "workload profile: min_ops must be >= 1 (got %d)" p.min_ops;
+  if p.max_ops < p.min_ops then
+    bad "workload profile: max_ops (%d) < min_ops (%d)" p.max_ops p.min_ops;
+  if not (p.read_frac >= 0.0 && p.read_frac <= 1.0) then
+    bad "workload profile: read_frac must be in [0,1] (got %g)" p.read_frac;
+  if not (p.theta >= 0.0 && p.theta < 1.0) then
+    bad "workload profile: theta must be in [0,1) (got %g)" p.theta;
+  if p.rule_density < 0 then
+    bad "workload profile: rule_density must be >= 0 (got %d)" p.rule_density
+
+let describe p =
+  Printf.sprintf
+    "seed=%d txns=%d ops=%d..%d read_frac=%.2f keys=%d theta=%.2f \
+     rule_density=%d"
+    p.seed p.txns p.min_ops p.max_ops p.read_frac p.keys p.theta p.rule_density
+
+module Sampler = struct
+  (* The bounded Zipfian generator of Gray et al. ("Quickly generating
+     billion-record synthetic databases", SIGMOD 1994), the same
+     construction YCSB uses: closed-form inverse sampling against the
+     truncated zeta normalizer.  Valid for theta in (0,1); theta = 0
+     degenerates to uniform and is special-cased. *)
+  type zipf = { zn : int; ztheta : float; alpha : float; zetan : float; eta : float }
+
+  let zeta n theta =
+    let z = ref 0.0 in
+    for i = 1 to n do
+      z := !z +. (1.0 /. Float.pow (float_of_int i) theta)
+    done;
+    !z
+
+  let make_zipf n theta =
+    if theta <= 0.0 || n <= 1 then None
+    else
+      let zetan = zeta n theta in
+      let eta =
+        (1.0 -. Float.pow (2.0 /. float_of_int n) (1.0 -. theta))
+        /. (1.0 -. (zeta 2 theta /. zetan))
+      in
+      Some { zn = n; ztheta = theta; alpha = 1.0 /. (1.0 -. theta); zetan; eta }
+
+  type profile = t
+
+  type nonrec t = { p : profile; st : Random.State.t; zipf : zipf option }
+
+  let with_state p st =
+    validate p;
+    { p; st; zipf = make_zipf p.keys p.theta }
+
+  let create p = with_state p (Random.State.make [| p.seed |])
+  let profile s = s.p
+
+  let key s =
+    match s.zipf with
+    | None -> if s.p.keys = 1 then 0 else Random.State.int s.st s.p.keys
+    | Some z ->
+      let u = Random.State.float s.st 1.0 in
+      let uz = u *. z.zetan in
+      if uz < 1.0 then 0
+      else if uz < 1.0 +. Float.pow 0.5 z.ztheta then 1
+      else
+        let k =
+          int_of_float
+            (float_of_int z.zn
+            *. Float.pow ((z.eta *. u) -. z.eta +. 1.0) z.alpha)
+        in
+        if k < 0 then 0 else if k >= z.zn then z.zn - 1 else k
+
+  let uniform s n = if n <= 1 then 0 else Random.State.int s.st n
+  let is_read s = Random.State.float s.st 1.0 < s.p.read_frac
+  let txn_size s = s.p.min_ops + uniform s (s.p.max_ops - s.p.min_ops + 1)
+  let chance s pr = Random.State.float s.st 1.0 < pr
+  let pick s a = a.(uniform s (Array.length a))
+end

@@ -1,0 +1,72 @@
+(** Workload profiles: the YCSB-style knobs a scenario run is
+    parameterized by, and the seeded sampler that turns a profile into
+    a deterministic operation stream.
+
+    Everything downstream of a profile is a pure function of
+    [(profile, seed)]: the same pair regenerates the same transaction
+    sequence, which is what lets the soak runner's forked crash child
+    and its in-memory oracle replay identical workloads, and lets a
+    failing run be reproduced from the seed its harness prints. *)
+
+type t = {
+  seed : int;  (** PRNG seed; the whole run is deterministic in it *)
+  txns : int;  (** transactions to drive *)
+  min_ops : int;  (** smallest operation block *)
+  max_ops : int;  (** largest operation block *)
+  read_frac : float;  (** fraction of operations that are reads, [0,1] *)
+  keys : int;  (** key-space size per scenario entity *)
+  theta : float;
+      (** Zipfian skew for key choice, [0,1): 0 is uniform, 0.99 is the
+          YCSB default "hotspot" skew *)
+  rule_density : int;
+      (** extra never-firing rules installed at setup — the knob that
+          scales the rule set the engine must consider per transition *)
+}
+
+val default : t
+(** seed 42, 100 txns, 1–4 ops, 25% reads, 64 keys, theta 0.6,
+    no padding rules. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on out-of-range knobs (empty key space,
+    [theta] outside [0,1), negative sizes, inverted op bounds). *)
+
+val describe : t -> string
+(** One-line rendering of every knob, for reports and failure
+    messages. *)
+
+(** The seeded sampler: one per run, advancing a private PRNG state.
+    Key draws follow the bounded Zipfian distribution of Gray et al.
+    (the YCSB generator) so a small set of hot keys absorbs most of
+    the traffic when [theta] > 0. *)
+module Sampler : sig
+  type profile := t
+  type t
+
+  val create : profile -> t
+  (** A fresh sampler seeded from the profile's [seed]. *)
+
+  val with_state : profile -> Random.State.t -> t
+  (** A sampler over a caller-owned PRNG state — for harnesses that
+      thread one seeded state through several components. *)
+
+  val profile : t -> profile
+
+  val key : t -> int
+  (** Zipfian-skewed key in [0, keys). *)
+
+  val uniform : t -> int -> int
+  (** Uniform in [0, n). *)
+
+  val is_read : t -> bool
+  (** True with probability [read_frac]. *)
+
+  val txn_size : t -> int
+  (** Uniform in [min_ops, max_ops]. *)
+
+  val chance : t -> float -> bool
+  (** True with the given probability. *)
+
+  val pick : t -> 'a array -> 'a
+  (** Uniform element of a non-empty array. *)
+end

@@ -1,0 +1,69 @@
+(* The scenario registry. *)
+
+open Core
+
+type invariant = { inv_name : string; inv_check : System.t -> string option }
+
+type t = {
+  sc_name : string;
+  sc_doc : string;
+  sc_tables : string list;
+  sc_setup : Profile.t -> string list;
+  sc_txn : Profile.Sampler.t -> string;
+  sc_invariants : invariant list;
+  sc_config : Engine.config;
+}
+
+(* Registration order matters (reports, benches and the CLI list
+   scenarios in it), so the registry is an ordered assoc list. *)
+let registry : t list ref = ref []
+
+let register sc =
+  if sc.sc_name = "" then invalid_arg "scenario: empty name";
+  if List.exists (fun s -> s.sc_name = sc.sc_name) !registry then
+    invalid_arg (Printf.sprintf "scenario %S already registered" sc.sc_name);
+  registry := !registry @ [ sc ]
+
+let find name = List.find_opt (fun s -> s.sc_name = name) !registry
+let all () = !registry
+let names () = List.map (fun s -> s.sc_name) !registry
+
+let get name =
+  match find name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown scenario %S (known: %s)" name
+         (String.concat ", " (names ())))
+
+(* ------------------------------------------------------------------ *)
+(* Invariant helpers                                                   *)
+
+let int_value s sql =
+  match System.query_value s sql with
+  | Value.Int n -> n
+  | Value.Null -> 0
+  | v ->
+    failwith
+      (Printf.sprintf "invariant query %S: expected int, got %s" sql
+         (Value.to_string v))
+
+let zero_count name ~sql =
+  {
+    inv_name = name;
+    inv_check =
+      (fun s ->
+        let n = int_value s sql in
+        if n = 0 then None
+        else Some (Printf.sprintf "%d violating rows (%s)" n sql));
+  }
+
+let equal_ints name ~actual ~expected =
+  {
+    inv_name = name;
+    inv_check =
+      (fun s ->
+        let a = actual s and e = expected s in
+        if a = e then None
+        else Some (Printf.sprintf "actual %d <> expected %d" a e));
+  }

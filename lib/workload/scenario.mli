@@ -1,0 +1,70 @@
+(** The scenario registry: reusable, invariant-checked workloads.
+
+    A scenario packages the three things the paper's examples combine —
+    a schema, a rule set enforcing or maintaining something over it,
+    and traffic that stresses the rules — together with the
+    machine-checkable invariants the rule set is supposed to preserve.
+    One registered definition serves every consumer: the short
+    deterministic tests under [dune runtest], the soak runner, the
+    throughput benchmark (E17), the [sopr-workload] CLI, and the
+    examples. *)
+
+open Core
+
+(** A machine-checkable property of the committed state.  [inv_check]
+    returns [None] when the invariant holds and a human-readable
+    description of the violation otherwise; it must be read-only and
+    safe to run between any two transactions (and after any crash
+    recovery). *)
+type invariant = { inv_name : string; inv_check : System.t -> string option }
+
+type t = {
+  sc_name : string;
+  sc_doc : string;  (** one-line description, shown by [sopr-workload list] *)
+  sc_tables : string list;
+      (** the tables whose contents are the scenario's observable state,
+          in a fixed order — the runner's state digests and differential
+          comparisons quantify over exactly these *)
+  sc_setup : Profile.t -> string list;
+      (** DDL, rules and seed data as individual statements, executed
+          one at a time (rule actions are [';']-separated statement
+          lists, so a rule definition must never share a script string
+          with a following statement).  [rule_density] padding rules are
+          included here. *)
+  sc_txn : Profile.Sampler.t -> string;
+      (** one transaction: a [';']-separated DML block.  Must be
+          DDL-free (blocks replay through the WAL and the crash
+          harness) and procedure-free (recovery cannot re-register
+          OCaml code). *)
+  sc_invariants : invariant list;
+  sc_config : Engine.config;
+      (** engine configuration the scenario needs (e.g. select tracking
+          for retrieval-triggered rules) *)
+}
+
+val register : t -> unit
+(** Raises [Invalid_argument] on a duplicate or empty name. *)
+
+val find : string -> t option
+
+val get : string -> t
+(** Raises [Invalid_argument] with the known names listed. *)
+
+val all : unit -> t list
+(** In registration order. *)
+
+val names : unit -> string list
+
+(** {2 Invariant helpers} *)
+
+val int_value : System.t -> string -> int
+(** Evaluate a single-cell query as an int, mapping an empty result or
+    SQL NULL (e.g. [sum] over no rows) to 0. *)
+
+val zero_count : string -> sql:string -> invariant
+(** The invariant that [sql] — a count-style single-cell query
+    enumerating violations — evaluates to 0. *)
+
+val equal_ints :
+  string -> actual:(System.t -> int) -> expected:(System.t -> int) -> invariant
+(** The invariant that two derived integers agree. *)

@@ -1,0 +1,519 @@
+(* The built-in scenario corpus.  See scenarios.mli for the catalog.
+
+   Conventions shared by every scenario:
+
+   - all generated keys are non-negative, so padding rules can probe
+     for impossible negative keys (their conditions are evaluated —
+     real rule-set load — but never hold);
+   - transaction blocks are DDL-free and procedure-free so they replay
+     byte-identically through the WAL and the forked crash child;
+   - negative literals are spelled [0 - n] (the dialect has no unary
+     minus). *)
+
+open Core
+module Sampler = Profile.Sampler
+
+let clamp lo hi n = max lo (min hi n)
+
+(* [d]-signed delta expression: "col + 3" / "col - 3". *)
+let delta col d =
+  if d >= 0 then Printf.sprintf "%s + %d" col d
+  else Printf.sprintf "%s - %d" col (-d)
+
+(* Never-firing rules scaled by the rule-density knob: each one is
+   triggered by inserts into [table] and probes for an impossible
+   negative key, so the engine pays condition evaluation for a dense
+   rule set without any semantic effect. *)
+let pad_rules ~table ~col n =
+  List.init n (fun i ->
+      Printf.sprintf
+        "create rule pad_%d when inserted into %s if exists (select * from %s \
+         where %s = 0 - %d) then delete from %s where %s = 0 - %d"
+        (i + 1) table table col (i + 2) table col (i + 2))
+
+(* ------------------------------------------------------------------ *)
+(* tenant-quota: multi-tenant quota enforcement                        *)
+
+let tenant_quota = "tenant-quota"
+
+let tq_tenants p = clamp 2 16 (p.Profile.keys / 4)
+
+let tq_setup p =
+  let t = tq_tenants p in
+  let tenant_rows =
+    String.concat ", "
+      (List.init t (fun i -> Printf.sprintf "(%d, %d, 0)" i (4 + (i mod 5 * 4))))
+  in
+  [
+    "create table tenant (tid int, quota int, used int)";
+    "create table obj (oid int, tid int, size int)";
+    "create index obj_tid on obj (tid)";
+    "create index obj_oid on obj (oid)";
+    Printf.sprintf "insert into tenant values %s" tenant_rows;
+    (* set-oriented usage accounting: one update per transition,
+       counting each tenant's inserted/deleted objects *)
+    "create rule tq_track_ins when inserted into obj then update tenant set \
+     used = used + (select count(*) from inserted obj o where o.tid = \
+     tenant.tid) where tid in (select tid from inserted obj)";
+    "create rule tq_track_del when deleted from obj then update tenant set \
+     used = used - (select count(*) from deleted obj o where o.tid = \
+     tenant.tid) where tid in (select tid from deleted obj)";
+    (* the quota itself: violation rolls the whole transaction back *)
+    "create rule tq_enforce when inserted into obj or updated tenant.used if \
+     exists (select * from tenant where used > quota) then rollback";
+  ]
+  @ pad_rules ~table:"obj" ~col:"oid" p.Profile.rule_density
+
+let tq_txn s =
+  let p = Sampler.profile s in
+  let t = tq_tenants p in
+  let op () =
+    if Sampler.is_read s then
+      if Sampler.chance s 0.5 then
+        Printf.sprintf "select used from tenant where tid = %d"
+          (Sampler.key s mod t)
+      else
+        Printf.sprintf "select count(*) from obj where tid = %d"
+          (Sampler.key s mod t)
+    else if Sampler.chance s 0.6 then
+      Printf.sprintf "insert into obj values (%d, %d, %d)" (Sampler.key s)
+        (Sampler.key s mod t)
+        (1 + Sampler.uniform s 100)
+    else Printf.sprintf "delete from obj where oid = %d" (Sampler.key s)
+  in
+  String.concat "; " (List.init (Sampler.txn_size s) (fun _ -> op ()))
+
+let tq_scenario =
+  {
+    Scenario.sc_name = tenant_quota;
+    sc_doc =
+      "multi-tenant quotas: rules keep per-tenant usage counters and roll \
+       back transactions exceeding a quota";
+    sc_tables = [ "tenant"; "obj" ];
+    sc_setup = tq_setup;
+    sc_txn = tq_txn;
+    sc_invariants =
+      [
+        Scenario.zero_count "quota-respected"
+          ~sql:"select count(*) from tenant where used > quota";
+        Scenario.zero_count "usage-counter-consistent"
+          ~sql:
+            "select count(*) from tenant where used <> (select count(*) from \
+             obj o where o.tid = tenant.tid)";
+      ];
+    sc_config = Engine.default_config;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* audit-trail: DML and retrieval auditing with per-row versions       *)
+
+let audit_trail = "audit-trail"
+
+let at_setup p =
+  let seed_accounts = clamp 1 8 (p.Profile.keys / 8) in
+  let rows =
+    String.concat ", "
+      (List.init seed_accounts (fun i -> Printf.sprintf "(%d, 100, 0)" i))
+  in
+  [
+    (* the declared key matters beyond realism: version bumps join on
+       id, so ids must be unique or a bump could leak onto a row that
+       was inserted (not updated) in the same transaction *)
+    "create table acct (id int primary key, bal int, version int)";
+    "create table audit_log (kind string, id int, version int)";
+    "create index acct_id on acct (id)";
+    "create rule aud_ins when inserted into acct then insert into audit_log \
+     (select 'I', id, version from inserted acct)";
+    "create rule aud_upd when updated acct.bal then insert into audit_log \
+     (select 'U', n.id, n.version from new updated acct.bal n)";
+    "create rule ver_bump when updated acct.bal then update acct set version \
+     = version + 1 where id in (select id from new updated acct.bal)";
+    "create rule aud_del when deleted from acct then insert into audit_log \
+     (select 'D', id, version from deleted acct)";
+    (* Section 5.1: retrieval-triggered auditing *)
+    "create rule aud_read when selected acct.bal then insert into audit_log \
+     values ('R', 0 - 1, 0)";
+    (* a conditional flag rule: negative balances are recorded *)
+    "create rule aud_flag when updated acct.bal if exists (select * from new \
+     updated acct.bal n where n.bal < 0) then insert into audit_log values \
+     ('F', 0 - 1, 0)";
+    (* seeded AFTER the rules so the seed rows are audited too — the
+       invariants count every insert since table creation *)
+    Printf.sprintf "insert into acct values %s" rows;
+  ]
+  @ pad_rules ~table:"acct" ~col:"id" p.Profile.rule_density
+
+let at_txn s =
+  let op () =
+    if Sampler.is_read s then
+      if Sampler.chance s 0.7 then
+        Printf.sprintf "select bal from acct where id = %d" (Sampler.key s)
+      else "select count(*) from audit_log where kind = 'U'"
+    else
+      match Sampler.uniform s 10 with
+      | 0 | 1 | 2 ->
+        Printf.sprintf "insert into acct values (%d, %d, 0)" (Sampler.key s)
+          (Sampler.uniform s 200)
+      | 3 | 4 | 5 | 6 ->
+        Printf.sprintf "update acct set bal = %s where id = %d"
+          (delta "bal" (Sampler.uniform s 100 - 40))
+          (Sampler.key s)
+      | _ -> Printf.sprintf "delete from acct where id = %d" (Sampler.key s)
+  in
+  String.concat "; " (List.init (Sampler.txn_size s) (fun _ -> op ()))
+
+(* The audit invariants relate three quantities the rules maintain:
+   live accounts = net inserts; net updates = versions accumulated by
+   live rows plus versions frozen into delete records. *)
+let at_kind_count s k =
+  Scenario.int_value s
+    (Printf.sprintf "select count(*) from audit_log where kind = '%s'" k)
+
+let at_scenario =
+  {
+    Scenario.sc_name = audit_trail;
+    sc_doc =
+      "audit trail: rules record every net insert/update/delete (and reads, \
+       via select tracking) and bump per-row versions";
+    sc_tables = [ "acct"; "audit_log" ];
+    sc_setup = at_setup;
+    sc_txn = at_txn;
+    sc_invariants =
+      [
+        Scenario.equal_ints "live-rows-equal-net-inserts"
+          ~actual:(fun s -> Scenario.int_value s "select count(*) from acct")
+          ~expected:(fun s -> at_kind_count s "I" - at_kind_count s "D");
+        Scenario.equal_ints "update-audit-equals-version-total"
+          ~actual:(fun s -> at_kind_count s "U")
+          ~expected:(fun s ->
+            Scenario.int_value s "select sum(version) from acct"
+            + Scenario.int_value s
+                "select sum(version) from audit_log where kind = 'D'");
+      ];
+    sc_config = { Engine.default_config with track_selects = true };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* matview: incremental aggregate maintenance                          *)
+
+let matview = "matview"
+
+let mv_custs p = clamp 2 12 (p.Profile.keys / 4)
+
+let mv_setup p =
+  let c = mv_custs p in
+  let rows =
+    String.concat ", " (List.init c (fun i -> Printf.sprintf "(%d, 0, 0)" i))
+  in
+  [
+    "create table orders (oid int, cust int, amount int)";
+    "create table cust_total (cust int, total int, cnt int)";
+    "create index orders_oid on orders (oid)";
+    "create index orders_cust on orders (cust)";
+    Printf.sprintf "insert into cust_total values %s" rows;
+    "create rule mv_ins when inserted into orders then update cust_total set \
+     total = total + (select sum(o.amount) from inserted orders o where \
+     o.cust = cust_total.cust), cnt = cnt + (select count(*) from inserted \
+     orders o where o.cust = cust_total.cust) where cust in (select cust \
+     from inserted orders)";
+    "create rule mv_del when deleted from orders then update cust_total set \
+     total = total - (select sum(o.amount) from deleted orders o where \
+     o.cust = cust_total.cust), cnt = cnt - (select count(*) from deleted \
+     orders o where o.cust = cust_total.cust) where cust in (select cust \
+     from deleted orders)";
+    "create rule mv_upd when updated orders.amount then update cust_total \
+     set total = total + (select sum(n.amount) from new updated \
+     orders.amount n where n.cust = cust_total.cust) - (select sum(o.amount) \
+     from old updated orders.amount o where o.cust = cust_total.cust) where \
+     cust in (select cust from new updated orders.amount)";
+    (* consistency tripwire: a non-empty total over an empty count can
+       only mean the maintenance rules diverged — roll back rather than
+       commit a corrupt view *)
+    "create rule mv_guard when updated cust_total.total if exists (select * \
+     from cust_total where cnt = 0 and total <> 0) then rollback";
+  ]
+  @ pad_rules ~table:"orders" ~col:"oid" p.Profile.rule_density
+
+let mv_txn s =
+  let p = Sampler.profile s in
+  let c = mv_custs p in
+  let op () =
+    if Sampler.is_read s then
+      if Sampler.chance s 0.5 then
+        Printf.sprintf "select total, cnt from cust_total where cust = %d"
+          (Sampler.key s mod c)
+      else
+        Printf.sprintf "select sum(amount) from orders where cust = %d"
+          (Sampler.key s mod c)
+    else
+      match Sampler.uniform s 10 with
+      | 0 | 1 | 2 | 3 ->
+        Printf.sprintf "insert into orders values (%d, %d, %d)" (Sampler.key s)
+          (Sampler.key s mod c)
+          (1 + Sampler.uniform s 50)
+      | 4 | 5 | 6 ->
+        Printf.sprintf "update orders set amount = %s where oid = %d"
+          (delta "amount" (Sampler.uniform s 30 - 10))
+          (Sampler.key s)
+      | _ -> Printf.sprintf "delete from orders where oid = %d" (Sampler.key s)
+  in
+  String.concat "; " (List.init (Sampler.txn_size s) (fun _ -> op ()))
+
+(* The materialized-view invariant: the maintained aggregates equal the
+   aggregates recomputed from scratch, customer by customer. *)
+let mv_view_consistent =
+  {
+    Scenario.inv_name = "view-equals-recomputation";
+    inv_check =
+      (fun s ->
+        let recomputed = Hashtbl.create 16 in
+        List.iter
+          (fun row ->
+            match row with
+            | [| Value.Int cust; total; Value.Int cnt |] ->
+              let total =
+                match total with Value.Int t -> t | _ -> 0
+              in
+              Hashtbl.replace recomputed cust (total, cnt)
+            | _ -> ())
+          (snd
+             (System.query s
+                "select cust, sum(amount), count(*) from orders group by \
+                 cust"));
+        let rows =
+          snd (System.query s "select cust, total, cnt from cust_total")
+        in
+        let bad =
+          List.filter_map
+            (fun row ->
+              match row with
+              | [| Value.Int cust; Value.Int total; Value.Int cnt |] ->
+                let exp_total, exp_cnt =
+                  Option.value
+                    (Hashtbl.find_opt recomputed cust)
+                    ~default:(0, 0)
+                in
+                if total = exp_total && cnt = exp_cnt then None
+                else
+                  Some
+                    (Printf.sprintf
+                       "cust %d: view (%d, %d) <> recomputed (%d, %d)" cust
+                       total cnt exp_total exp_cnt)
+              | _ -> Some "malformed cust_total row")
+            rows
+        in
+        if bad = [] then None else Some (String.concat "; " bad));
+  }
+
+let mv_scenario =
+  {
+    Scenario.sc_name = matview;
+    sc_doc =
+      "denormalized aggregates: rules maintain per-customer totals as an \
+       incremental materialized view, checked against recomputation";
+    sc_tables = [ "orders"; "cust_total" ];
+    sc_setup = mv_setup;
+    sc_txn = mv_txn;
+    sc_invariants =
+      [
+        mv_view_consistent;
+        Scenario.zero_count "no-customerless-orders"
+          ~sql:
+            "select count(*) from orders where cust not in (select cust from \
+             cust_total)";
+      ];
+    sc_config = Engine.default_config;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* ref-cascade: a four-level foreign-key chain from declarative DDL    *)
+
+let ref_cascade = "ref-cascade"
+
+let rc_regions p = clamp 2 8 (p.Profile.keys / 8)
+let rc_depts p = clamp 4 16 (p.Profile.keys / 4)
+
+let rc_setup p =
+  let r = rc_regions p and d = rc_depts p in
+  let region_rows =
+    String.concat ", "
+      (List.init r (fun i -> Printf.sprintf "(%d, 'r%d')" i i))
+  in
+  let dept_rows =
+    String.concat ", "
+      (List.init d (fun i -> Printf.sprintf "(%d, %d)" i (i mod r)))
+  in
+  [
+    "create table region (rid int primary key, name string)";
+    "create table dept (did int primary key, rid int, foreign key (rid) \
+     references region (rid) on delete cascade)";
+    "create table emp (eid int primary key, did int, foreign key (did) \
+     references dept (did) on delete cascade)";
+    "create table badge (bid int primary key, eid int, foreign key (eid) \
+     references emp (eid) on delete set null)";
+    "create index emp_did on emp (did)";
+    "create index badge_eid on badge (eid)";
+    Printf.sprintf "insert into region values %s" region_rows;
+    Printf.sprintf "insert into dept values %s" dept_rows;
+  ]
+  @ pad_rules ~table:"emp" ~col:"eid" p.Profile.rule_density
+
+let rc_txn s =
+  let p = Sampler.profile s in
+  let r = rc_regions p and d = rc_depts p in
+  let op () =
+    if Sampler.is_read s then
+      if Sampler.chance s 0.5 then
+        Printf.sprintf "select count(*) from emp where did = %d"
+          (Sampler.key s mod d)
+      else
+        Printf.sprintf "select eid from badge where bid = %d" (Sampler.key s)
+    else
+      match Sampler.uniform s 20 with
+      | 0 ->
+        (* re-seed a region so deep deletes do not drain the hierarchy *)
+        Printf.sprintf "insert into region values (%d, 'r')"
+          (Sampler.key s mod r)
+      | 1 | 2 ->
+        (* the parent may be missing: the compiled FK check rolls back *)
+        Printf.sprintf "insert into dept values (%d, %d)"
+          (Sampler.key s mod d) (Sampler.key s mod r)
+      | 3 | 4 | 5 | 6 | 7 ->
+        Printf.sprintf "insert into emp values (%d, %d)" (Sampler.key s)
+          (Sampler.key s mod d)
+      | 8 | 9 | 10 | 11 ->
+        Printf.sprintf "insert into badge values (%d, %d)" (Sampler.key s)
+          (Sampler.key s)
+      | 12 ->
+        (* rare: a deep cascade across all four levels *)
+        Printf.sprintf "delete from region where rid = %d"
+          (Sampler.key s mod r)
+      | 13 | 14 ->
+        Printf.sprintf "delete from dept where did = %d" (Sampler.key s mod d)
+      | 15 | 16 | 17 ->
+        Printf.sprintf "delete from emp where eid = %d" (Sampler.key s)
+      | _ -> Printf.sprintf "delete from badge where bid = %d" (Sampler.key s)
+  in
+  String.concat "; " (List.init (Sampler.txn_size s) (fun _ -> op ()))
+
+let rc_scenario =
+  {
+    Scenario.sc_name = ref_cascade;
+    sc_doc =
+      "referential cascades at depth: a region->dept->emp->badge FK chain \
+       compiled from DDL; deletes cascade, the leaf repairs by SET NULL, \
+       orphans roll back";
+    sc_tables = [ "region"; "dept"; "emp"; "badge" ];
+    sc_setup = rc_setup;
+    sc_txn = rc_txn;
+    sc_invariants =
+      [
+        Scenario.zero_count "no-orphan-depts"
+          ~sql:
+            "select count(*) from dept where rid not in (select rid from \
+             region)";
+        Scenario.zero_count "no-orphan-emps"
+          ~sql:
+            "select count(*) from emp where did not in (select did from dept)";
+        Scenario.zero_count "badge-owner-live-or-null"
+          ~sql:
+            "select count(*) from badge where eid is not null and eid not in \
+             (select eid from emp)";
+        Scenario.zero_count "emp-key-unique"
+          ~sql:
+            "select count(*) from (select eid from emp group by eid having \
+             count(*) > 1)";
+      ];
+    sc_config = Engine.default_config;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* repair: constraint repair by clamping instead of rollback           *)
+
+let repair = "repair"
+
+let rp_setup p =
+  let seed_staff = clamp 1 6 (p.Profile.keys / 8) in
+  let rows =
+    String.concat ", "
+      (List.init seed_staff (fun i -> Printf.sprintf "(%d, %d)" i (20 + (i * 10))))
+  in
+  [
+    "create table bounds (lo int, hi int)";
+    "insert into bounds values (10, 100)";
+    "create table staff (sid int, sal int)";
+    "create index staff_sid on staff (sid)";
+    Printf.sprintf "insert into staff values %s" rows;
+    (* out-of-bounds salaries are repaired by clamping, not rolled back
+       (the database-repairs reaction: restore consistency, keep the
+       update) *)
+    "create rule rp_clamp_hi when inserted into staff or updated staff.sal \
+     if exists (select * from staff where sal > (select hi from bounds)) \
+     then update staff set sal = (select hi from bounds) where sal > (select \
+     hi from bounds)";
+    "create rule rp_clamp_lo when inserted into staff or updated staff.sal \
+     if exists (select * from staff where sal < (select lo from bounds)) \
+     then update staff set sal = (select lo from bounds) where sal < (select \
+     lo from bounds)";
+    (* moving the bounds re-repairs the whole table *)
+    "create rule rp_rebound_hi when updated bounds.hi then update staff set \
+     sal = (select hi from bounds) where sal > (select hi from bounds)";
+    "create rule rp_rebound_lo when updated bounds.lo then update staff set \
+     sal = (select lo from bounds) where sal < (select lo from bounds)";
+  ]
+  @ pad_rules ~table:"staff" ~col:"sid" p.Profile.rule_density
+
+let rp_txn s =
+  let op () =
+    if Sampler.is_read s then
+      Printf.sprintf "select sal from staff where sid = %d" (Sampler.key s)
+    else
+      match Sampler.uniform s 30 with
+      | 0 ->
+        (* rare: tighten or loosen the ceiling; existing rows re-clamp *)
+        Printf.sprintf "update bounds set hi = %d" (60 + Sampler.uniform s 81)
+      | 1 ->
+        Printf.sprintf "update bounds set lo = %d" (Sampler.uniform s 31)
+      | n when n < 12 ->
+        Printf.sprintf "insert into staff values (%d, %d)" (Sampler.key s)
+          (Sampler.uniform s 151)
+      | n when n < 24 ->
+        Printf.sprintf "update staff set sal = %s where sid = %d"
+          (delta "sal" (Sampler.uniform s 140 - 60))
+          (Sampler.key s)
+      | _ -> Printf.sprintf "delete from staff where sid = %d" (Sampler.key s)
+  in
+  String.concat "; " (List.init (Sampler.txn_size s) (fun _ -> op ()))
+
+let rp_scenario =
+  {
+    Scenario.sc_name = repair;
+    sc_doc =
+      "constraint repair: salary bounds enforced by clamping rules instead \
+       of rollback, re-repairing when the bounds move";
+    sc_tables = [ "bounds"; "staff" ];
+    sc_setup = rp_setup;
+    sc_txn = rp_txn;
+    sc_invariants =
+      [
+        Scenario.zero_count "salaries-within-bounds"
+          ~sql:
+            "select count(*) from staff where sal > (select hi from bounds) \
+             or sal < (select lo from bounds)";
+        Scenario.equal_ints "single-bounds-row"
+          ~actual:(fun s -> Scenario.int_value s "select count(*) from bounds")
+          ~expected:(fun _ -> 1);
+      ];
+    sc_config = Engine.default_config;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let registered = ref false
+
+let register_all () =
+  if not !registered then begin
+    registered := true;
+    List.iter Scenario.register
+      [ tq_scenario; at_scenario; mv_scenario; rc_scenario; rp_scenario ]
+  end

@@ -1,0 +1,34 @@
+(** The built-in scenario corpus.
+
+    Five workloads covering the shapes the paper motivates production
+    rules with — integrity enforcement, auditing, derived data — plus
+    the richer-than-rollback reactions of the database-repairs line of
+    work:
+
+    - {b tenant-quota}: multi-tenant quota enforcement.  Rules maintain
+      a per-tenant usage counter and roll back any transaction that
+      would exceed a tenant's quota.
+    - {b audit-trail}: every net insert/update/delete of the account
+      table is recorded by rules (updates also bump a per-row version),
+      and reads are audited through select tracking (Section 5.1).
+    - {b matview}: denormalized per-customer aggregates maintained
+      incrementally by rules — rules as an incremental materialized
+      view, with a rule-based consistency tripwire.
+    - {b ref-cascade}: a four-level foreign-key chain declared in DDL
+      and compiled into rules (Section 6): deletes cascade three levels
+      deep, the leaf repairs by SET NULL, orphan inserts roll back.
+    - {b repair}: constraint {e repair} policies — salary bounds
+      enforced by clamping rules instead of rollback, including
+      re-repair when the bounds themselves move.
+
+    Each scenario declares machine-checkable invariants the runner
+    verifies between transactions and after every crash recovery. *)
+
+val tenant_quota : string
+val audit_trail : string
+val matview : string
+val ref_cascade : string
+val repair : string
+
+val register_all : unit -> unit
+(** Register the corpus into {!Scenario}'s registry.  Idempotent. *)

@@ -75,3 +75,47 @@ let vb b = Value.Bool b
 let vnull = Value.Null
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Seed plumbing for the randomized suites.
+
+   Every suite that derives work from a PRNG seed routes it through
+   here, so a failing run can be reproduced with
+
+     SOPR_SEED=<n> dune runtest
+
+   The override narrows a suite's seed list to the one given seed;
+   [with_seed_reported] prints the seed of the failing iteration on any
+   exception, before re-raising it for the framework to report. *)
+
+let seed_env = "SOPR_SEED"
+
+let seed_override () =
+  match Sys.getenv_opt seed_env with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> Some n
+    | None ->
+      invalid_arg (Printf.sprintf "%s=%S is not an integer" seed_env s))
+
+(* A suite's deterministic seed list, narrowed by the override. *)
+let seeds ~default = match seed_override () with Some s -> [ s ] | None -> default
+
+(* A suite's single seed, replaced by the override. *)
+let seed ~default = Option.value (seed_override ()) ~default
+
+let with_seed_reported s f =
+  try f ()
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Printf.eprintf "\n[seed] failing under seed %d — reproduce with %s=%d\n%!"
+      s seed_env s;
+    Printexc.raise_with_backtrace e bt
+
+(* qcheck properties read QCHECK_SEED; bridge the override to it so one
+   variable reproduces every randomized suite. *)
+let () =
+  match (seed_override (), Sys.getenv_opt "QCHECK_SEED") with
+  | Some s, None -> Unix.putenv "QCHECK_SEED" (string_of_int s)
+  | _ -> ()

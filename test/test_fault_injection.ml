@@ -442,10 +442,11 @@ let harness_config = { Engine.default_config with max_steps = 300 }
 let test_systematic_differential () =
   List.iter
     (fun seed ->
-      let st = Random.State.make [| seed |] in
-      let blocks = List.init 80 (fun _ -> gen_block st) in
-      differential ~config:harness_config blocks)
-    [ 7; 19; 23; 42 ]
+      with_seed_reported seed (fun () ->
+          let st = Random.State.make [| seed |] in
+          let blocks = List.init 80 (fun _ -> gen_block st) in
+          differential ~config:harness_config blocks))
+    (seeds ~default:[ 7; 19; 23; 42 ])
 
 (* Satellite: the same invariants as a qcheck property across the
    prune_info x optimize x track_selects configuration matrix. *)

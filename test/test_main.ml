@@ -30,4 +30,6 @@ let () =
     ("fault-injection", Test_fault_injection.suite);
       ("recovery", Test_recovery.suite);
       ("config-matrix", Test_config_matrix.suite);
+      ("workload", Test_workload.suite);
+      ("workload-faults", Test_workload_faults.suite);
     ]

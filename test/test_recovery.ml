@@ -708,8 +708,11 @@ let run_recovery_sweep ~seed ~blocks_n dir =
 let test_systematic_sweep () =
   List.iter
     (fun seed ->
-      in_dir (Printf.sprintf "sweep-%d" seed) (run_recovery_sweep ~seed ~blocks_n:80))
-    [ 11; 29; 63; 101 ]
+      with_seed_reported seed (fun () ->
+          in_dir
+            (Printf.sprintf "sweep-%d" seed)
+            (run_recovery_sweep ~seed ~blocks_n:80)))
+    (seeds ~default:[ 11; 29; 63; 101 ])
 
 (* ------------------------------------------------------------------ *)
 (* The crash harness: SIGKILL at fault sites, truncated-log corpus.     *)
@@ -725,7 +728,8 @@ let test_systematic_sweep () =
 let test_kill_and_truncation () =
   FI.with_faults (fun () ->
       in_dir "crash" (fun root ->
-          let seed = 1234 and blocks_n = 25 in
+          let seed = seed ~default:1234 and blocks_n = 25 in
+          with_seed_reported seed @@ fun () ->
           let st = Random.State.make [| seed |] in
           let blocks = List.init blocks_n (fun _ -> FI.gen_block st) in
           let ref_dir = Filename.concat root "reference" in
