@@ -23,6 +23,7 @@
      E15 (ablation)          compiled closures vs the interpreter
      E16 (durability)        WAL overhead, recovery time, checkpoints
      E17 (workload corpus)   per-scenario txn/s under the generator
+     E18 (discrimination)    rule-count sweep: indexed vs linear scan
 
    Run with:  dune exec bench/main.exe            (all experiments)
               dune exec bench/main.exe -- E2 E3   (a subset)            *)
@@ -1204,12 +1205,145 @@ let e17 () =
        rows);
   write_e17_json "BENCH_PR6.json" rows
 
+(* ------------------------------------------------------------------ *)
+(* E18: rule discrimination — per-transaction cost as the rule catalog
+   grows from 10 to 10k while the set of rules the transaction can
+   trigger stays constant (one firing audit rule; every padding rule
+   is registered on a table the transaction never touches).  Three
+   arms: the discrimination index (default), the linear scan it
+   replaced ([rule_index = false] — the differential oracle), and the
+   instance-oriented engine as the non-set-oriented baseline.  The
+   claim: indexed cost is flat in the catalog size, both scans
+   degrade linearly.                                                   *)
+
+let e18_args = if tiny then [ 10; 100 ] else [ 10; 100; 1_000; 10_000 ]
+
+let e18_audit_rule =
+  "create rule audit when inserted into hot then insert into log values (1)"
+
+(* Padding rules never woken by the measured transaction: they watch a
+   table the workload never touches.  Built as ASTs directly so the
+   10k-rule setup does not price the SQL parser. *)
+let e18_pad_def i =
+  {
+    Ast.rule_name = Printf.sprintf "pad%05d" i;
+    trans_preds = [ Ast.Tp_inserted "cold" ];
+    condition = None;
+    action = Ast.Act_rollback;
+  }
+
+let e18_system ?config n =
+  let s = System.create ?config () in
+  ignore_exec s
+    "create table hot (a int);\ncreate table log (n int);\n\
+     create table cold (a int)";
+  ignore_exec s e18_audit_rule;
+  for i = 1 to n - 1 do
+    ignore (Engine.create_rule (System.engine s) (e18_pad_def i))
+  done;
+  s
+
+let e18_instance_system n =
+  let ie = Instance_engine.create Database.empty in
+  Instance_engine.create_table ie
+    (Schema.table "hot" [ Schema.column "a" Schema.T_int ]);
+  Instance_engine.create_table ie
+    (Schema.table "log" [ Schema.column "n" Schema.T_int ]);
+  Instance_engine.create_table ie
+    (Schema.table "cold" [ Schema.column "a" Schema.T_int ]);
+  (match Parser.parse_statement_string e18_audit_rule with
+  | Ast.Stmt_create_rule def -> ignore (Instance_engine.create_rule ie def)
+  | _ -> assert false);
+  for i = 1 to n - 1 do
+    ignore (Instance_engine.create_rule ie (e18_pad_def i))
+  done;
+  ie
+
+let e18_txn_ops = parse_ops "insert into hot values (0)"
+
+let e18_engine_test name config =
+  Test.make_indexed_with_resource ~name ~fmt:"%s:n=%d" ~args:e18_args
+    Test.multiple
+    ~allocate:(fun n -> e18_system ?config n)
+    ~free:(fun _ -> ())
+    (fun _ ->
+      Staged.stage (fun s ->
+          ignore (Engine.execute_block (System.engine s) e18_txn_ops)))
+
+let e18_instance_test =
+  Test.make_indexed_with_resource ~name:"e18-instance" ~fmt:"%s:n=%d"
+    ~args:e18_args Test.multiple
+    ~allocate:(fun n -> e18_instance_system n)
+    ~free:(fun _ -> ())
+    (fun _ ->
+      Staged.stage (fun ie -> ignore (Instance_engine.execute_block ie e18_txn_ops)))
+
+let write_e18_json path rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"E18\",\n  \"description\": \"rule \
+        discrimination index: per-transaction cost vs rule-catalog size at \
+        a constant fired fraction — indexed vs linear scan vs \
+        instance-oriented baseline\",\n  \"unit\": \"ns_per_txn\",\n  \
+        \"tiny\": %b,\n  \"results\": [\n"
+       tiny);
+  List.iteri
+    (fun i (arm, n, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"arm\": \"%s\", \"rules\": %d, \"ns\": %.1f}%s\n"
+           arm n ns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nresults written to %s\n" path
+
+let e18 () =
+  print_header "E18" "rule discrimination: cost vs rule-catalog size"
+    "with (table, op, column) discrimination the per-transition cost tracks \
+     the rules the transition can wake, not the catalog; the linear scan \
+     and the instance engine degrade with every rule defined";
+  let arg_of name =
+    match String.split_on_char '=' name with
+    | [ _; n ] -> int_of_string n
+    | _ -> 0
+  in
+  let indexed = run_test (e18_engine_test "e18-indexed" None) in
+  let linear =
+    run_test
+      (e18_engine_test "e18-linear"
+         (Some { Engine.default_config with Engine.rule_index = false }))
+  in
+  let instance = run_test e18_instance_test in
+  print_table
+    [ "rules"; "indexed"; "linear scan"; "instance"; "linear/indexed" ]
+    (List.map2
+       (fun ((name, ins), (_, lns)) (_, bns) ->
+         [
+           string_of_int (arg_of name);
+           pretty_ns ins;
+           pretty_ns lns;
+           pretty_ns bns;
+           ratio lns ins;
+         ])
+       (List.combine indexed linear)
+       instance);
+  let rows =
+    List.map (fun (name, ns) -> ("indexed", arg_of name, ns)) indexed
+    @ List.map (fun (name, ns) -> ("linear-scan", arg_of name, ns)) linear
+    @ List.map (fun (name, ns) -> ("instance", arg_of name, ns)) instance
+  in
+  write_e18_json "BENCH_PR7.json" rows
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17);
+    ("E17", e17); ("E18", e18);
   ]
 
 let () =

@@ -59,10 +59,13 @@ let print_stats system =
      rollbacks:             %d\n\
      aborts:                %d\n\
      seq scans:             %d\n\
-     index probes:          %d\n"
+     index probes:          %d\n\
+     candidates considered: %d\n\
+     rules skipped:         %d\n"
     st.Engine.transactions st.Engine.transitions st.Engine.rule_firings
     st.Engine.conditions_evaluated st.Engine.rollbacks st.Engine.aborts
-    st.Engine.seq_scans st.Engine.index_probes
+    st.Engine.seq_scans st.Engine.index_probes st.Engine.candidates_considered
+    st.Engine.rules_skipped
 
 let print_analysis system =
   Format.printf "%a@." Analysis.pp_report (System.analyze system)

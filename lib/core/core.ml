@@ -236,9 +236,13 @@ module System = struct
       Msg (String.concat "\n" (header :: body))
     | Ast.Stmt_explain (Ast.Explain_rule name) ->
       let plans = Engine.explain_rule eng name in
+      let keys = Engine.rule_index_keys eng name in
       let header =
         Printf.sprintf "explain rule %s (condition under empty transition tables)"
           name
+      in
+      let keys_line =
+        Printf.sprintf "  index keys: %s" (String.concat ", " keys)
       in
       let body =
         match plans with
@@ -252,7 +256,7 @@ module System = struct
                    sources)
             plans
       in
-      Msg (String.concat "\n" (header :: body))
+      Msg (String.concat "\n" (header :: keys_line :: body))
     | Ast.Stmt_describe name ->
       let schema = Database.schema (Engine.database eng) name in
       Relation

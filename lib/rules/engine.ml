@@ -35,6 +35,11 @@ type config = {
   prune_info : bool;
       (* keep, per rule, only the transition information on tables its
          predicates mention (the Section 4.3 optimization remark) *)
+  rule_index : bool;
+      (* consult the discrimination index so each transition touches
+         only rules registered on the affected (table, op, column)
+         keys; off = the literal Figure 1 linear scan over the whole
+         catalog, retained as a differential oracle *)
 }
 
 let default_config =
@@ -44,6 +49,7 @@ let default_config =
     track_selects = false;
     optimize = true;
     prune_info = true;
+    rule_index = true;
   }
 
 type outcome = Committed | Rolled_back
@@ -57,6 +63,11 @@ type stats = {
   mutable aborts : int; (* error-driven transaction aborts *)
   mutable seq_scans : int; (* base-table accesses answered by scan *)
   mutable index_probes : int; (* base-table accesses answered by index probe *)
+  mutable candidates_considered : int;
+      (* rules examined for triggering across candidate scans *)
+  mutable rules_skipped : int;
+      (* rules the discrimination index excluded from candidate scans;
+         always 0 under the linear-scan oracle *)
 }
 
 (* Execution trace: what happened during rule processing, for the
@@ -110,7 +121,15 @@ type t = {
       (* bumped by every DDL statement; compiled rule forms are keyed
          on it (plus the planner switches) so schema or index changes
          invalidate them *)
-  mutable rules : Rule.t list; (* creation order *)
+  mutable rules_rev : Rule.t list;
+      (* newest first, so CREATE RULE is O(1): n creations build the
+         catalog in O(n) instead of the O(n²) of appending *)
+  mutable rules_by_name : Rule.t Str_map.t;
+  mutable rule_count : int;
+  mutable rule_index : Rule_index.t;
+      (* discrimination index over the active rules, maintained
+         incrementally on rule DDL; [live_index] rebuilds it when its
+         generation disagrees with [ddl_gen] (table/index DDL) *)
   mutable priorities : Priority.t;
   mutable infos : Trans_info.t Str_map.t;
   mutable txn_start : Database.t option; (* Some while a transaction is open *)
@@ -149,7 +168,10 @@ let create ?(config = default_config) db =
   {
     db;
     ddl_gen = 0;
-    rules = [];
+    rules_rev = [];
+    rules_by_name = Str_map.empty;
+    rule_count = 0;
+    rule_index = Rule_index.create ~generation:0 ();
     priorities = Priority.empty;
     infos = Str_map.empty;
     txn_start = None;
@@ -173,6 +195,8 @@ let create ?(config = default_config) db =
         aborts = 0;
         seq_scans = 0;
         index_probes = 0;
+        candidates_considered = 0;
+        rules_skipped = 0;
       };
     tracing = false;
     trace = [];
@@ -328,7 +352,7 @@ let rule_report t =
             rr_action_seconds = m.m_action_seconds;
             rr_effect_tuples = m.m_effect_tuples;
           })
-    t.rules
+    (List.rev t.rules_rev)
 
 (* JSONL trace export: one JSON object per event, oldest first.  The
    encoder is hand-rolled (the toolchain has no JSON library) but emits
@@ -390,15 +414,27 @@ let trace_jsonl t =
 (* ------------------------------------------------------------------ *)
 (* Catalog operations                                                  *)
 
-let find_rule t name = List.find_opt (fun r -> String.equal r.Rule.name name) t.rules
+let find_rule t name = Str_map.find_opt name t.rules_by_name
 
 let get_rule t name =
   match find_rule t name with
   | Some r -> r
   | None -> Errors.raise_error (Errors.Unknown_rule name)
 
-let rules t = t.rules
+let rules t = List.rev t.rules_rev
+let rules_rev t = t.rules_rev
 let priorities t = t.priorities
+
+(* The discrimination index, rebuilt from the catalog when table/index
+   DDL has bumped [ddl_gen] past the generation it was built against.
+   Rule DDL maintains it incrementally without touching the
+   generation. *)
+let live_index t =
+  if Rule_index.generation t.rule_index <> t.ddl_gen then
+    t.rule_index <-
+      Rule_index.rebuild ~generation:t.ddl_gen
+        (List.filter (fun r -> r.Rule.active) t.rules_rev);
+  t.rule_index
 
 (* Rules defined mid-transaction start with empty transition
    information: they have seen no transition yet. *)
@@ -437,22 +473,40 @@ let create_rule t def =
       | Ast.Act_rollback | Ast.Act_call _ -> ()
     with _ -> ()
   end;
-  t.rules <- t.rules @ [ rule ];
+  t.rules_rev <- rule :: t.rules_rev;
+  t.rules_by_name <- Str_map.add rule.Rule.name rule t.rules_by_name;
+  t.rule_count <- t.rule_count + 1;
+  Rule_index.add (live_index t) rule;
   rule
 
+(* Dropping a rule must clear every per-rule map keyed on its name —
+   including the selection-recency bookkeeping: a leaked
+   [last_considered] entry would make a later rule recreated under the
+   same name inherit the old rule's recency tick and be mis-ranked by
+   the recency-based strategies.  [considered0] is the abort-restore
+   snapshot of the same map, so it is cleared too (a drop between a
+   snapshot and an abort must not resurrect the stale tick). *)
 let drop_rule t name =
-  ignore (get_rule t name);
-  t.rules <- List.filter (fun r -> not (String.equal r.Rule.name name)) t.rules;
+  let rule = get_rule t name in
+  if rule.Rule.active then Rule_index.remove (live_index t) rule;
+  t.rules_rev <-
+    List.filter (fun r -> not (String.equal r.Rule.name name)) t.rules_rev;
+  t.rules_by_name <- Str_map.remove name t.rules_by_name;
+  t.rule_count <- t.rule_count - 1;
   t.infos <- Str_map.remove name t.infos;
   t.priorities <- Priority.remove_rule t.priorities name;
+  t.last_considered <- Str_map.remove name t.last_considered;
+  t.considered0 <- Str_map.remove name t.considered0;
   Hashtbl.remove t.rule_metrics name
 
 let set_rule_active t name active =
   let rule = get_rule t name in
-  t.rules <-
-    List.map
-      (fun r -> if r == rule then { r with Rule.active } else r)
-      t.rules
+  if rule.Rule.active <> active then begin
+    let idx = live_index t in
+    rule.Rule.active <- active;
+    (* only active rules are registered in the discrimination index *)
+    if active then Rule_index.add idx rule else Rule_index.remove idx rule
+  end
 
 let declare_priority t ~high ~low =
   ignore (get_rule t high);
@@ -598,7 +652,21 @@ let process_rules_exn t =
      (Section 4.3), a rule whose predicates mention none of the touched
      tables gets empty information without any per-effect work, and a
      partially relevant rule gets the restriction of the effect to its
-     tables. *)
+     tables.
+
+     With the discrimination index on, only rules registered on a
+     (table, op, column) key the effect touches get an entry at all:
+     [info_of] defaults missing entries to empty information, a rule
+     whose keys the composite never touches can never become triggered,
+     and transition-table materialization filters by table — so the
+     omission is semantically invisible while the init cost drops from
+     O(all rules) to O(matching rules).  [shared] accumulates the full
+     composite of the transition so a rule woken later in processing
+     (by a rule firing that touches its keys) can catch up to exactly
+     the information the linear scan would have built for it. *)
+  let use_index = t.config.rule_index in
+  let all_rules = if use_index then [] else rules t in
+  let shared = ref Trans_info.empty in
   let touched = Effect.tables t.pending in
   let relevant_to r =
     List.exists (fun tbl -> Effect.Col_set.mem tbl touched) (Rule.relevant_tables r)
@@ -609,22 +677,52 @@ let process_rules_exn t =
     else if not (relevant_to r) then Trans_info.empty
     else Trans_info.init (Effect.restrict t.pending (Rule.relevant r)) t.trans_start
   in
-  t.infos <-
-    List.fold_left
-      (fun m r -> Str_map.add r.Rule.name (init_for r) m)
-      Str_map.empty t.rules;
+  if use_index then begin
+    shared := Lazy.force initial;
+    let woken = Rule_index.matching (live_index t) t.pending in
+    t.infos <-
+      Rule_index.Str_set.fold
+        (fun name m ->
+          match find_rule t name with
+          | None -> m
+          | Some r -> Str_map.add name (init_for r) m)
+        woken Str_map.empty
+  end
+  else
+    t.infos <-
+      List.fold_left
+        (fun m r -> Str_map.add r.Rule.name (init_for r) m)
+        Str_map.empty all_rules;
   t.pending <- Effect.empty;
   let steps = ref 0 in
   let considered = ref Str_set.empty in
   let rec loop () =
+    (* the candidate scan: with the index on, only rules holding
+       transition information (the woken set) are examined — a rule
+       with no entry has empty information and cannot be triggered *)
     let candidates =
-      List.filter
-        (fun r ->
-          r.Rule.active
-          && (not (Str_set.mem r.Rule.name !considered))
-          && Trans_info.triggered (info_of t r.Rule.name) (Rule.trans_preds r))
-        t.rules
+      if use_index then
+        Str_map.fold
+          (fun name info acc ->
+            match find_rule t name with
+            | Some r
+              when r.Rule.active
+                   && (not (Str_set.mem name !considered))
+                   && Trans_info.triggered info (Rule.trans_preds r) ->
+              r :: acc
+            | _ -> acc)
+          t.infos []
+      else
+        List.filter
+          (fun r ->
+            r.Rule.active
+            && (not (Str_set.mem r.Rule.name !considered))
+            && Trans_info.triggered (info_of t r.Rule.name) (Rule.trans_preds r))
+          all_rules
     in
+    let examined = if use_index then Str_map.cardinal t.infos else t.rule_count in
+    t.stats.candidates_considered <- t.stats.candidates_considered + examined;
+    t.stats.rules_skipped <- t.stats.rules_skipped + (t.rule_count - examined);
     let last_considered name =
       Option.value (Str_map.find_opt name t.last_considered) ~default:0
     in
@@ -721,17 +819,66 @@ let process_rules_exn t =
           if t.config.prune_info then Effect.restrict eff (Rule.relevant r)
           else eff
         in
-        t.infos <-
-          List.fold_left
-            (fun m r ->
-              if String.equal r.Rule.name rule.Rule.name then
-                Str_map.add r.Rule.name (Trans_info.init (effect_for r) old_db) m
-              else if t.config.prune_info && not (relevant_to r) then m
-              else
-                Str_map.add r.Rule.name
-                  (Trans_info.extend (info_of t r.Rule.name) (effect_for r) old_db)
-                  m)
-            t.infos t.rules;
+        if use_index then begin
+          (* extend the shared composite, then (1) extend every already
+             woken rule exactly as the linear scan would, (2) wake
+             rules whose keys this effect touches by restricting the
+             shared composite — the same information stepwise extension
+             from the external transition would have built, since
+             restriction commutes with init/extend — and (3) restart
+             the acting rule unconditionally: even a firing whose
+             effect misses the rule's own keys starts a new composite
+             transition for it, otherwise it would stay triggered
+             forever. *)
+          shared := Trans_info.extend !shared eff old_db;
+          t.infos <-
+            Str_map.fold
+              (fun name info m ->
+                if String.equal name rule.Rule.name then m
+                else
+                  match find_rule t name with
+                  | None -> Str_map.add name info m
+                  | Some r ->
+                    if t.config.prune_info && not (relevant_to r) then
+                      Str_map.add name info m
+                    else
+                      Str_map.add name
+                        (Trans_info.extend info (effect_for r) old_db)
+                        m)
+              t.infos Str_map.empty;
+          let woken = Rule_index.matching (live_index t) eff in
+          t.infos <-
+            Rule_index.Str_set.fold
+              (fun name m ->
+                if Str_map.mem name m || String.equal name rule.Rule.name then m
+                else
+                  match find_rule t name with
+                  | None -> m
+                  | Some r ->
+                    let info =
+                      if t.config.prune_info then
+                        Trans_info.restrict !shared (Rule.relevant r)
+                      else !shared
+                    in
+                    Str_map.add name info m)
+              woken t.infos;
+          t.infos <-
+            Str_map.add rule.Rule.name
+              (Trans_info.init (effect_for rule) old_db)
+              t.infos
+        end
+        else
+          t.infos <-
+            List.fold_left
+              (fun m r ->
+                if String.equal r.Rule.name rule.Rule.name then
+                  Str_map.add r.Rule.name (Trans_info.init (effect_for r) old_db) m
+                else if t.config.prune_info && not (relevant_to r) then m
+                else
+                  Str_map.add r.Rule.name
+                    (Trans_info.extend (info_of t r.Rule.name) (effect_for r) old_db)
+                    m)
+              t.infos all_rules;
         (* new state: every triggered rule becomes considerable again *)
         considered := Str_set.empty;
         loop ()
@@ -863,6 +1010,13 @@ let rec embedded_selects (e : Ast.expr) : Ast.select list =
    information: transition tables materialize as empty relations while
    base tables keep their current contents, so the base-table access
    paths shown are the ones condition evaluation would actually use. *)
+(* The discrimination-index keys a rule is registered under, rendered
+   for EXPLAIN RULE.  Derived from the definition, so reported for
+   deactivated rules too (which are unregistered until reactivated). *)
+let rule_index_keys t name =
+  let rule = get_rule t name in
+  List.map Rule_index.key_to_string (Rule_index.keys_of_rule rule)
+
 let explain_rule t name =
   let rule = get_rule t name in
   match Rule.condition rule with
@@ -907,7 +1061,7 @@ let drop_table t name =
       if mentions then
         Errors.semantic "cannot drop table %S: rule %S is triggered by it" name
           r.Rule.name)
-    t.rules;
+    t.rules_rev;
   t.db <- Database.drop_table t.db name;
   t.ddl_gen <- t.ddl_gen + 1
 
@@ -955,7 +1109,7 @@ let durable_image t =
   {
     di_db = t.db;
     di_rules =
-      List.map (fun r -> (r.Rule.def, r.Rule.seq, r.Rule.active)) t.rules;
+      List.map (fun r -> (r.Rule.def, r.Rule.seq, r.Rule.active)) (rules t);
     di_priorities = Priority.pairs t.priorities;
     di_seq = t.seq;
     di_ddl_gen = t.ddl_gen;
@@ -963,18 +1117,23 @@ let durable_image t =
 
 let of_durable_image ?config img =
   let t = create ?config img.di_db in
-  t.rules <-
-    List.map
-      (fun (def, seq, active) ->
-        let r = Rule.create ~seq def in
-        if active then r else { r with Rule.active })
-      img.di_rules;
+  List.iter
+    (fun (def, seq, active) ->
+      let r = Rule.create ~seq def in
+      r.Rule.active <- active;
+      t.rules_rev <- r :: t.rules_rev;
+      t.rules_by_name <- Str_map.add r.Rule.name r t.rules_by_name;
+      t.rule_count <- t.rule_count + 1)
+    img.di_rules;
   t.priorities <-
     List.fold_left
       (fun p (high, low) -> Priority.declare p ~high ~low)
       Priority.empty img.di_priorities;
   t.seq <- img.di_seq;
   t.ddl_gen <- img.di_ddl_gen;
+  t.rule_index <-
+    Rule_index.rebuild ~generation:t.ddl_gen
+      (List.filter (fun r -> r.Rule.active) t.rules_rev);
   t
 
 (* WAL replay applies physical tuple operations below the transition

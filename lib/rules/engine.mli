@@ -37,11 +37,18 @@ type config = {
       (** Keep, per rule, only the transition information on tables its
           predicates mention (the Section 4.3 optimization remark);
           semantically invisible. *)
+  rule_index : bool;
+      (** Consult the {!Rule_index} discrimination index so each
+          transition initializes, extends and scans only rules
+          registered on the touched (table, op, column) keys — O(matching
+          rules) per transition.  [false] is the literal Figure 1 linear
+          scan over the whole catalog, retained as a differential
+          oracle; semantically invisible either way. *)
 }
 
 val default_config : config
 (** 10000 steps, creation-order selection, no select tracking,
-    optimizations on. *)
+    optimizations and the discrimination index on. *)
 
 type outcome = Committed | Rolled_back
 
@@ -58,6 +65,11 @@ type stats = {
       (** base-table accesses answered by a full scan *)
   mutable index_probes : int;
       (** base-table accesses answered by an index probe *)
+  mutable candidates_considered : int;
+      (** rules examined for triggering across candidate scans *)
+  mutable rules_skipped : int;
+      (** rules the discrimination index excluded from candidate scans
+          (always 0 under the linear-scan oracle) *)
 }
 
 (** One step of an execution trace (Section 6 tooling: understanding
@@ -151,7 +163,16 @@ val drop_rule : t -> string -> unit
 val set_rule_active : t -> string -> bool -> unit
 val find_rule : t -> string -> Rule.t option
 val get_rule : t -> string -> Rule.t
+
 val rules : t -> Rule.t list
+(** The catalog in creation order (materialized: O(n)). *)
+
+val rules_rev : t -> Rule.t list
+(** The catalog newest-first — the engine's internal representation,
+    shared (not copied), so [create_rule] is observably O(1): the new
+    list's tail is physically the previous list.  Exposed for the
+    structural bulk-creation tests. *)
+
 val priorities : t -> Priority.t
 
 val declare_priority : t -> high:string -> low:string -> unit
@@ -213,6 +234,12 @@ val explain_op : t -> Ast.op -> Eval.source_plan list
     executor's access-path decision procedure (see {!Eval.plan_op}).
     Planning never mutates the database and does not perturb the
     scan/probe statistics. *)
+
+val rule_index_keys : t -> string -> string list
+(** The discrimination-index keys the rule registers under, rendered
+    ([insert(t)], [update(t.c)], …) for EXPLAIN RULE.  Derived from the
+    definition, so also reported for deactivated rules (which are
+    unregistered until reactivated).  Raises [Unknown_rule]. *)
 
 val explain_rule : t -> string -> (string * Eval.source_plan list) list
 (** Plan a rule's condition as it would be evaluated at a rule

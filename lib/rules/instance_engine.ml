@@ -31,7 +31,12 @@ type stats = {
 
 type t = {
   mutable db : Database.t;
-  mutable rules : Rule.t list;
+  mutable rules_rev : Rule.t list; (* newest first: O(1) create_rule *)
+  mutable rules_fwd : Rule.t list option;
+      (* memoized creation order, invalidated by create_rule, so bulk
+         rule creation stays linear while firing keeps iterating rules
+         in creation order *)
+  mutable rule_seq : int;
   mutable txn_start : Database.t option;
   config : config;
   stats : stats;
@@ -45,7 +50,9 @@ type outcome = Committed | Rolled_back
 let create ?(config = default_config) db =
   {
     db;
-    rules = [];
+    rules_rev = [];
+    rules_fwd = None;
+    rule_seq = 0;
     txn_start = None;
     config;
     stats = { rule_firings = 0; conditions_evaluated = 0 };
@@ -55,9 +62,19 @@ let create ?(config = default_config) db =
 let database t = t.db
 let stats t = t.stats
 
+let rules t =
+  match t.rules_fwd with
+  | Some l -> l
+  | None ->
+    let l = List.rev t.rules_rev in
+    t.rules_fwd <- Some l;
+    l
+
 let create_rule t def =
-  let rule = Rule.create ~seq:(List.length t.rules + 1) def in
-  t.rules <- t.rules @ [ rule ];
+  t.rule_seq <- t.rule_seq + 1;
+  let rule = Rule.create ~seq:t.rule_seq def in
+  t.rules_rev <- rule :: t.rules_rev;
+  t.rules_fwd <- None;
   rule
 
 let create_table t schema = t.db <- Database.create_table t.db schema
@@ -134,7 +151,7 @@ let rec fire_for_instance t inst =
             | Ast.Act_block ops -> List.iter (exec_op_cascading t info) ops
           end
         end)
-      t.rules
+      (rules t)
 
 (* Execute one operation and immediately (depth-first) fire row
    triggers for each affected tuple. *)

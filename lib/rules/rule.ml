@@ -16,9 +16,8 @@ module Pretty = Sqlf.Pretty
    re-walking the AST.  A compiled form is valid only for the catalog
    and planner switches it was compiled against, so each entry carries
    the engine's generation key; the engine recompiles on mismatch.
-   The subrecord is mutable and shared structurally by copies of the
-   rule value (activation toggles copy the record), so the cache
-   survives deactivate/activate cycles. *)
+   The subrecord is mutable and shared structurally by any copies of
+   the rule value, so the cache survives deactivate/activate cycles. *)
 type compiled_forms = {
   mutable cf_cond : (int * Sqlf.Compile.cpred) option;
   mutable cf_action : (int * Sqlf.Dml.cop list) option;
@@ -28,7 +27,10 @@ type t = {
   name : string;
   def : Ast.rule_def;
   seq : int; (* creation order; also the default selection order *)
-  active : bool;
+  mutable active : bool;
+      (* mutable so activation toggles update the catalog entry in
+         place — the engine's by-name map, creation-order list and
+         discrimination index all share the same value *)
   compiled : compiled_forms;
 }
 

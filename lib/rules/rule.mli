@@ -23,7 +23,9 @@ type t = {
   name : string;
   def : Ast.rule_def;
   seq : int;  (** creation order; the default selection order *)
-  active : bool;
+  mutable active : bool;
+      (** mutable so activation toggles update the shared catalog entry
+          in place *)
   compiled : compiled_forms;
 }
 

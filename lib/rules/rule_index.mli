@@ -1,0 +1,54 @@
+(** Rule discrimination index.
+
+    Rules are registered under (table, operation, column) keys derived
+    from their basic transition predicates; {!matching} maps a
+    transition effect to the set of rule names with at least one
+    touched key — exactly the rules the effect could trigger
+    ({!Effect.satisfies_any} over each rule's predicates;
+    property-tested), so the engine's per-transition work scales with
+    matching rules instead of the whole catalog.
+
+    The index carries the engine's DDL generation: rule DDL maintains
+    it incrementally, table/index DDL bumps the engine counter and the
+    engine rebuilds on the mismatch. *)
+
+module Str_set :
+  Set.S with type elt = string and type t = Set.Make(String).t
+
+type op = Ins | Del | Upd | Sel
+
+type key = { k_table : string; k_op : op; k_col : string option }
+(** [k_col] is meaningful for [Upd]/[Sel] only: [None] is the wildcard
+    registration (an [updated T] predicate with no column matches an
+    update of any column of [T]). *)
+
+val keys_of_rule : Rule.t -> key list
+(** The rule's registration keys: one per basic transition predicate,
+    deduplicated, in a stable order. *)
+
+val key_to_string : key -> string
+(** Rendered as [insert(t)], [delete(t)], [update(t.c)] or
+    [select(t.c)] — with ["*"] in the column position for wildcard
+    registrations — the form EXPLAIN RULE reports. *)
+
+type t
+
+val create : generation:int -> unit -> t
+val generation : t -> int
+
+val registered : t -> int
+(** Number of rules currently registered (active rules only, under the
+    engine's maintenance discipline). *)
+
+val add : t -> Rule.t -> unit
+val remove : t -> Rule.t -> unit
+
+val rebuild : generation:int -> Rule.t list -> t
+(** A fresh index over [rules], stamped with [generation]. *)
+
+val matching : t -> Effect.t -> Str_set.t
+(** Names of every registered rule with at least one key touched by the
+    effect.  Order-independent (a set); sound and complete with respect
+    to per-effect triggering: [Str_set.mem r.name (matching idx e)] iff
+    [Effect.satisfies_any e (Rule.trans_preds r)] for registered
+    rules. *)

@@ -111,6 +111,21 @@ let extend ti (e : Effect.t) old_db =
   in
   { ins; del; upd; sel }
 
+(* Restriction to the tables satisfying [keep].  Every component keys
+   on handles, and a handle belongs to exactly one table, so
+   restriction commutes with [init]/[extend]: restricting a composite
+   equals composing restricted effects.  The engine's discrimination
+   path uses this to give a rule that wakes mid-processing the same
+   pruned information the linear scan would have accumulated for it. *)
+let restrict ti keep =
+  let keep_h h = keep (Handle.table h) in
+  {
+    ins = Handle.Set.filter keep_h ti.ins;
+    del = Handle.Map.filter (fun h _ -> keep_h h) ti.del;
+    upd = Handle.Map.filter (fun h _ -> keep_h h) ti.upd;
+    sel = Handle.Map.filter (fun h _ -> keep_h h) ti.sel;
+  }
+
 (* The effect triple this information represents; used for triggering
    tests and by property tests relating [extend] to effect
    composition. *)

@@ -38,6 +38,12 @@ val extend : t -> Effect.t -> Database.t -> t
     transition from state [old_db], netting per Definition 2.1 and
     preserving first-recorded old values. *)
 
+val restrict : t -> (string -> bool) -> t
+(** [restrict ti keep] drops every component entry whose handle's table
+    fails [keep] (the {!Effect.restrict} counterpart).  Commutes with
+    {!init}/{!extend}: restricting a composite equals composing
+    restricted effects. *)
+
 val to_effect : t -> Effect.t
 (** The effect triple this information represents; [extend] commutes
     with {!Effect.compose} through this projection (property-tested). *)

@@ -41,8 +41,9 @@ let index_names sc profile =
         | _ -> None)
     (sc.Scenario.sc_setup profile)
 
-let build ?indexes sc profile =
-  let s = System.create ~config:sc.Scenario.sc_config () in
+let build ?indexes ?config sc profile =
+  let config = Option.value config ~default:sc.Scenario.sc_config in
+  let s = System.create ~config () in
   List.iter
     (fun stmt -> ignore (System.exec_one s stmt))
     (setup_statements ?indexes sc profile);
@@ -214,6 +215,65 @@ let run_short ?(check_every = 4) sc profile =
       check_invariants sc ~context:"final (interpreted)" interp);
   check_invariants sc ~context:"final (scan)" scan;
   rep := { !rep with r_checks = !rep.r_checks + (3 * n_invariants sc) };
+  !rep
+
+(* ------------------------------------------------------------------ *)
+(* Discrimination-index differential: the same stream on a system with
+   the rule index on and on the linear-scan oracle.  Selection is
+   order-independent over equal candidate sets, so the two must agree
+   on everything observable: per-transaction results, full execution
+   traces (consideration and firing order included), value digests,
+   lifetime firing counts.                                             *)
+
+let run_index_differential ?(check_every = 4) sc profile =
+  Profile.validate profile;
+  let blocks = gen_blocks sc profile in
+  let indexed = build sc profile in
+  let oracle =
+    build
+      ~config:{ sc.Scenario.sc_config with Engine.rule_index = false }
+      sc profile
+  in
+  Engine.set_tracing (System.engine indexed) true;
+  Engine.set_tracing (System.engine oracle) true;
+  let rep = ref (empty_report sc.Scenario.sc_name) in
+  let compare_states context =
+    if state_digest sc indexed <> state_digest sc oracle then
+      failf "[%s] %s: indexed state diverged from the linear oracle"
+        sc.Scenario.sc_name context
+  in
+  List.iteri
+    (fun i block ->
+      let context = Printf.sprintf "txn %d" (i + 1) in
+      let ri = run_block indexed block in
+      let ro = run_block oracle block in
+      check_same_result sc ~context ~label:"indexed vs linear oracle" ri ro;
+      let trace_i = Engine.trace (System.engine indexed) in
+      let trace_o = Engine.trace (System.engine oracle) in
+      if trace_i <> trace_o then
+        failf
+          "[%s] %s: indexed trace (considerations, firing order) diverged \
+           from the linear oracle"
+          sc.Scenario.sc_name context;
+      rep := { !rep with r_txns = !rep.r_txns + 1 };
+      count_outcome rep ri;
+      if (i + 1) mod check_every = 0 then begin
+        compare_states context;
+        check_invariants sc ~context indexed;
+        rep := { !rep with r_checks = !rep.r_checks + n_invariants sc }
+      end)
+    blocks;
+  compare_states "final";
+  check_invariants sc ~context:"final (indexed)" indexed;
+  check_invariants sc ~context:"final (oracle)" oracle;
+  rep := { !rep with r_checks = !rep.r_checks + (2 * n_invariants sc) };
+  let si = Engine.stats (System.engine indexed) in
+  let so = Engine.stats (System.engine oracle) in
+  if si.Engine.rule_firings <> so.Engine.rule_firings then
+    failf "[%s] firing counts diverged: indexed %d, oracle %d"
+      sc.Scenario.sc_name si.Engine.rule_firings so.Engine.rule_firings;
+  if so.Engine.rules_skipped <> 0 then
+    failf "[%s] the linear oracle reported skipped rules" sc.Scenario.sc_name;
   !rep
 
 (* ------------------------------------------------------------------ *)

@@ -36,10 +36,13 @@ val index_names : Scenario.t -> Profile.t -> string list
 (** Names of the indexes the setup creates (parsed from the DDL), for
     dropping on a restored system. *)
 
-val build : ?indexes:bool -> Scenario.t -> Profile.t -> System.t
+val build :
+  ?indexes:bool -> ?config:Engine.config -> Scenario.t -> Profile.t ->
+  System.t
 (** A fresh in-memory system with the scenario's setup applied (one
     statement at a time — rule DDL must never share a script string
-    with a following statement). *)
+    with a following statement).  [config] overrides the scenario's
+    engine configuration (e.g. to build the linear-scan oracle). *)
 
 val gen_blocks : Scenario.t -> Profile.t -> string list
 (** The profile's whole transaction stream: [txns] blocks from a fresh
@@ -90,6 +93,14 @@ val run_short : ?check_every:int -> Scenario.t -> Profile.t -> report
 (** The in-memory differential run described above.  [check_every]
     (default 4) sets how often digests and invariants are compared
     between per-transaction result checks. *)
+
+val run_index_differential :
+  ?check_every:int -> Scenario.t -> Profile.t -> report
+(** The same stream on a system with the rule discrimination index on
+    and on the linear-scan oracle ([rule_index = false]), asserting
+    identical per-transaction results, execution traces (consideration
+    and firing order included), value digests, invariants and lifetime
+    firing counts. *)
 
 val soak :
   dir:string -> ?kills:int -> ?fault_every:int -> Scenario.t -> Profile.t ->
