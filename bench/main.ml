@@ -1338,12 +1338,126 @@ let e18 () =
   in
   write_e18_json "BENCH_PR7.json" rows
 
+(* ------------------------------------------------------------------ *)
+(* E19: server commit throughput — txn/s vs concurrent client count
+   over real loopback TCP, one arm per durability mode.  Every client
+   commits single-row transactions against its own key (no conflicts),
+   so the experiment prices the commit path itself: nosync is the
+   wire-plus-validation ceiling, sync pays one fsync per commit, and
+   group commit amortizes the fsync across whatever commits pile up
+   while the previous round's flush is in flight.                      *)
+
+module Server = Sopr_server.Server
+module Client = Sopr_server.Client
+
+let e19_clients = if tiny then [ 1; 2 ] else [ 1; 2; 4; 8; 16 ]
+let e19_duration = if tiny then 0.05 else 2.0
+
+let e19_arms =
+  [
+    ("nosync", Server.Wal_nosync);
+    ("sync", Server.Wal_sync);
+    ("group", Server.Wal_group);
+  ]
+
+let e19_run mode clients =
+  let dir = fresh_dir "e19" in
+  let srv = Server.create ~data_dir:dir mode in
+  let listener = Server.start srv in
+  let port = Server.port listener in
+  let setup = Client.connect ~port () in
+  let seed = Buffer.create 256 in
+  Buffer.add_string seed "create table kv (id int, v int)";
+  for i = 0 to clients - 1 do
+    Buffer.add_string seed (Printf.sprintf "; insert into kv values (%d, 0)" i)
+  done;
+  (match Client.request setup (Buffer.contents seed) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Client.close setup;
+  let counts = Array.make clients 0 in
+  let deadline = Unix.gettimeofday () +. e19_duration in
+  let worker i =
+    let c = Client.connect ~port () in
+    let txn =
+      Printf.sprintf "begin; update kv set v = v + 1 where id = %d; commit" i
+    in
+    while Unix.gettimeofday () < deadline do
+      match Client.request c txn with
+      | Ok _ -> counts.(i) <- counts.(i) + 1
+      | Error e -> failwith e
+    done;
+    Client.close c
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Server.stop listener;
+  Server.close srv;
+  rm_rf dir;
+  let txns = Array.fold_left ( + ) 0 counts in
+  (float_of_int txns /. elapsed, txns)
+
+let write_e19_json path rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"E19\",\n  \"description\": \
+        \"concurrent-session server over loopback TCP: sustained commit \
+        throughput vs client count for per-commit fsync, no fsync, and \
+        group commit\",\n  \"unit\": \"txn_per_s\",\n  \"tiny\": %b,\n  \
+        \"results\": [\n"
+       tiny);
+  List.iteri
+    (fun i (arm, clients, txn_s, txns) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"arm\": \"%s\", \"clients\": %d, \"txn_per_s\": %.1f, \
+            \"txns\": %d}%s\n"
+           arm clients txn_s txns
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nresults written to %s\n" path
+
+let e19 () =
+  print_header "E19" "server commit throughput vs concurrent clients"
+    "group commit amortizes the fsync over whatever commits pile up during \
+     the previous round's flush, so sync-durable throughput scales with \
+     writer count instead of being pinned at one fsync per transaction";
+  let rows =
+    List.concat_map
+      (fun (arm, mode) ->
+        List.map
+          (fun clients ->
+            let txn_s, txns = e19_run mode clients in
+            (arm, clients, txn_s, txns))
+          e19_clients)
+      e19_arms
+  in
+  print_table
+    [ "arm"; "clients"; "txn/s"; "txns measured" ]
+    (List.map
+       (fun (arm, clients, txn_s, txns) ->
+         [
+           arm;
+           string_of_int clients;
+           Printf.sprintf "%10.0f" txn_s;
+           string_of_int txns;
+         ])
+       rows);
+  write_e19_json "BENCH_PR8.json" rows
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18);
+    ("E17", e17); ("E18", e18); ("E19", e19);
   ]
 
 let () =

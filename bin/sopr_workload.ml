@@ -210,6 +210,57 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Plain throughput per scenario (no checks).")
     Term.(const run $ scenarios_arg $ profile_term $ duration_arg)
 
+let clients_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "clients" ] ~docv:"N"
+        ~doc:"Concurrent client sessions driving the stream.")
+
+let server_mode_arg =
+  let modes =
+    [
+      ("memory", Sopr_server.Server.Memory);
+      ("sync", Sopr_server.Server.Wal_sync);
+      ("nosync", Sopr_server.Server.Wal_nosync);
+      ("group", Sopr_server.Server.Wal_group);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) Sopr_server.Server.Memory
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "Durability mode: $(b,memory), $(b,sync), $(b,nosync) or \
+           $(b,group).  The WAL modes require --data-dir.")
+
+let opt_data_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:"Data directory for the WAL modes (created if absent).")
+
+let server_cmd =
+  let run names profile clients mode data_dir =
+    catching (fun () ->
+        List.iter
+          (fun sc ->
+            Format.printf "%a@." Workload.Server_driver.pp_report
+              (Workload.Server_driver.run ~clients ~mode ?data_dir sc
+                 profile))
+          (resolve names))
+  in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:
+         "Drive scenarios through concurrent TCP client sessions against \
+          an in-process server, retrying serialization conflicts, then \
+          prove the run serializable by replaying the committed blocks in \
+          publish order and comparing value digests.")
+    Term.(
+      const run $ scenarios_arg $ profile_term $ clients_arg
+      $ server_mode_arg $ opt_data_dir_arg)
+
 let cmd =
   let doc = "scenario corpus and workload generator for sopr" in
   let man =
@@ -224,6 +275,6 @@ let cmd =
     ]
   in
   Cmd.group (Cmd.info "sopr-workload" ~version:"1.0.0" ~doc ~man)
-    [ list_cmd; run_cmd; soak_cmd; bench_cmd ]
+    [ list_cmd; run_cmd; soak_cmd; bench_cmd; server_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -72,6 +72,14 @@ module System : sig
   val exec_one : t -> string -> exec_result
   (** Execute exactly one statement. *)
 
+  val exec_statement : t -> Ast.statement -> exec_result
+  (** Execute one already-parsed statement — the statement-granular
+      entry point the server's dispatcher builds on. *)
+
+  val is_ddl : Ast.statement -> bool
+  (** Whether the statement changes the catalog (tables, rules,
+      assertions, priorities, activation, indexes). *)
+
   val exec_block : t -> string -> Engine.outcome * Eval.relation list
   (** Execute a script of DML statements as ONE externally-generated
       operation block (one transaction), the paper's basic unit. *)

@@ -34,12 +34,21 @@ type t = {
   dir : string;
   sync : bool;
   checkpoint_interval : int option;
+  (* serializes every disk mutation (appends, checkpoint rotation)
+     across the server's session threads; uncontended in the embedded
+     single-session case.  Lock order where both are held: the caller's
+     state lock first, [io_lock] second. *)
+  io_lock : Mutex.t;
   mutable gen : int;
   mutable writer : Wal.writer;
   mutable next_seq : int;
   mutable records_since_ckpt : int;
   mutable closed : bool;
 }
+
+let with_io_lock t f =
+  Mutex.lock t.io_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.io_lock) f
 
 type status = {
   st_dir : string;
@@ -121,9 +130,16 @@ let dml_of_log (txl : Engine.txn_log) =
 
 let append_payload t payload =
   require_open t;
-  Wal.append t.writer { Wal.seq = t.next_seq; payload };
-  t.next_seq <- t.next_seq + 1;
-  t.records_since_ckpt <- t.records_since_ckpt + 1
+  with_io_lock t (fun () ->
+      Wal.append t.writer { Wal.seq = t.next_seq; payload };
+      t.next_seq <- t.next_seq + 1;
+      t.records_since_ckpt <- t.records_since_ckpt + 1)
+
+let append_txn t ops =
+  append_payload t (Wal.Txn { handle_ctr = Handle.counter_value (); ops })
+
+let append_txn_batch t txns =
+  append_payload t (Wal.Batch { handle_ctr = Handle.counter_value (); txns })
 
 let attach_hooks t =
   System.set_ddl_hook t.sys (Some (fun text -> append_payload t (Wal.Ddl text)));
@@ -152,41 +168,43 @@ let checkpoint t =
       (Errors.Transaction_error
          "cannot checkpoint inside a transaction: checkpoints capture \
           committed states only");
-  let next_gen = t.gen + 1 in
-  let image =
-    {
-      Recovery.cp_engine = Engine.durable_image (System.engine t.sys);
-      cp_handle_ctr = Handle.counter_value ();
-      cp_next_seq = t.next_seq;
-    }
-  in
-  Checkpoint.write ~dir:t.dir ~gen:next_gen (Recovery.marshal_image image);
-  (* the checkpoint is published: switch generations, then prune.  A
-     crash anywhere from here recovers from the new checkpoint (with an
-     absent-therefore-empty log until the create lands). *)
-  let old_writer = t.writer in
-  t.writer <- Wal.create ~sync:t.sync ~dir:t.dir ~gen:next_gen ();
-  let old_gen = t.gen in
-  t.gen <- next_gen;
-  t.records_since_ckpt <- 0;
-  Wal.close old_writer;
-  (* prune superseded generations, best effort: a leftover file is dead
-     weight, not a correctness problem (recovery picks the newest valid
-     checkpoint) *)
-  List.iter
-    (fun g ->
-      if g < next_gen then
-        try Checkpoint.remove ~dir:t.dir ~gen:g with Sys_error _ -> ())
-    (Checkpoint.generations ~dir:t.dir);
-  (try Sys.remove (Wal.path ~dir:t.dir ~gen:old_gen) with Sys_error _ -> ())
+  with_io_lock t (fun () ->
+      let next_gen = t.gen + 1 in
+      let image =
+        {
+          Recovery.cp_engine = Engine.durable_image (System.engine t.sys);
+          cp_handle_ctr = Handle.counter_value ();
+          cp_next_seq = t.next_seq;
+        }
+      in
+      Checkpoint.write ~dir:t.dir ~gen:next_gen (Recovery.marshal_image image);
+      (* the checkpoint is published: switch generations, then prune.  A
+         crash anywhere from here recovers from the new checkpoint (with
+         an absent-therefore-empty log until the create lands). *)
+      let old_writer = t.writer in
+      t.writer <- Wal.create ~sync:t.sync ~dir:t.dir ~gen:next_gen ();
+      let old_gen = t.gen in
+      t.gen <- next_gen;
+      t.records_since_ckpt <- 0;
+      Wal.close old_writer;
+      (* prune superseded generations, best effort: a leftover file is
+         dead weight, not a correctness problem (recovery picks the
+         newest valid checkpoint) *)
+      List.iter
+        (fun g ->
+          if g < next_gen then
+            try Checkpoint.remove ~dir:t.dir ~gen:g with Sys_error _ -> ())
+        (Checkpoint.generations ~dir:t.dir);
+      try Sys.remove (Wal.path ~dir:t.dir ~gen:old_gen) with Sys_error _ -> ())
+
+let checkpoint_due t =
+  match t.checkpoint_interval with
+  | Some every -> t.records_since_ckpt >= every
+  | None -> false
 
 let maybe_auto_checkpoint t =
-  match t.checkpoint_interval with
-  | Some every
-    when t.records_since_ckpt >= every
-         && not (Engine.in_transaction (System.engine t.sys)) ->
+  if checkpoint_due t && not (Engine.in_transaction (System.engine t.sys)) then
     checkpoint t
-  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Opening and executing                                               *)
@@ -205,6 +223,7 @@ let open_dir ?config ?checkpoint_interval ?(sync = true) dir =
       dir;
       sync;
       checkpoint_interval;
+      io_lock = Mutex.create ();
       gen = info.Recovery.ri_gen;
       writer;
       next_seq = info.Recovery.ri_last_seq + 1;

@@ -43,6 +43,35 @@ val checkpoint : t -> unit
     generations.  Raises [Transaction_error] while a transaction is
     open — checkpoints capture committed states only. *)
 
+val checkpoint_due : t -> bool
+(** Whether the records-since-checkpoint counter has reached the
+    configured interval.  The server consults this under its own state
+    lock (a checkpoint must capture a moment with no commits in
+    flight), so the decision and the act are exposed separately. *)
+
+(** {1 Server write path}
+
+    The concurrent server manages commits itself — conflict-checking
+    session transactions against the committed history and applying
+    winners to its primary engine — so it appends records directly
+    instead of going through the engine commit hook.  All appends and
+    checkpoints serialize on an internal I/O lock. *)
+
+val dml_of_log : Engine.txn_log -> Relational.Wal.dml list
+(** The physical net effect of a committed transaction, grounded
+    against its before/after states: deletes of pre-existing handles,
+    updates with their after images, inserts present in the after
+    state — the exact op list a [Txn]/[Batch] record carries. *)
+
+val append_txn : t -> Relational.Wal.dml list -> unit
+(** Append (and, unless [sync:false], fsync) one transaction record
+    carrying the current global handle counter. *)
+
+val append_txn_batch : t -> Relational.Wal.dml list list -> unit
+(** Append a whole group-commit batch as ONE record — one frame, one
+    CRC, one fsync.  Recovery therefore replays all member transactions
+    or none: a torn frame discards the entire batch. *)
+
 (** Observability for the REPL's [.wal status]. *)
 type status = {
   st_dir : string;

@@ -1,0 +1,53 @@
+(** Group commit: batch concurrently arriving commits into one WAL
+    append + one fsync.
+
+    Sessions call {!submit} with their transaction's physical ops; the
+    first submitter with no flush round in flight becomes the round's
+    leader, collects everything queued, and calls the [flush] function
+    once with the whole batch (typically {!Durable.append_txn_batch},
+    which writes one [Wal.Batch] record).  Every member of a round
+    shares its outcome: success acknowledges them all, a failed flush
+    raises the flush's exception in every submitting session — no
+    transaction is told it committed unless the frame carrying it is
+    durable, and a failure fails the whole batch (each session then
+    aborts with its exact snapshot restore). *)
+
+type t
+
+val create : flush:(Relational.Wal.dml list list -> unit) -> t
+(** [flush batch] must make every transaction of [batch] durable
+    atomically (one record) or raise.  It is called with the internal
+    lock released and from whichever session thread leads the round. *)
+
+val submit : t -> Relational.Wal.dml list -> unit
+(** Queue one transaction's ops for the next round and block until its
+    round is flushed.  Returns when durable; re-raises the flush's
+    exception if the round failed.  Equivalent to {!enqueue} followed
+    immediately by {!await}. *)
+
+type ticket
+(** A queued-but-not-awaited submission. *)
+
+val enqueue : t -> Relational.Wal.dml list -> ticket
+(** Take a queue position without blocking.  Lets the caller fix its
+    round membership while holding the lock that defines its commit
+    order — the server enqueues under its state lock so that WAL batch
+    order equals claim order — and wait with that lock released. *)
+
+val await : t -> ticket -> unit
+(** Block until the ticket's round is flushed (leading the round if no
+    leader is running).  Returns when durable; re-raises the flush's
+    exception if the round failed. *)
+
+val set_paused : t -> bool -> unit
+(** While paused, an elected leader waits before collecting its round,
+    so further submissions pile into the same batch — a test hook for
+    building deterministic batches of size > 1. *)
+
+val pending : t -> int
+(** Transactions queued for the next round — lets tests wait until a
+    paused round has collected the expected members. *)
+
+type stats = { gc_batches : int; gc_txns : int; gc_max_batch : int }
+
+val stats : t -> stats

@@ -73,7 +73,11 @@ let unmarshal_image s : checkpoint_image option =
 
    A [Txn] record is applied physically and the handle counter advanced
    to the logged value, so tuples recreated under logged handles and
-   handles minted after recovery can never collide. *)
+   handles minted after recovery can never collide.  A [Batch] record
+   (group commit) is the same thing for several transactions at once —
+   it is one CRC frame, so either every member transaction was durable
+   or none was, and replay is a fold over the members in commit
+   order. *)
 let replay_record sys skipped (record : Wal.record) =
   match record.Wal.payload with
   | Wal.Ddl text -> (
@@ -83,6 +87,13 @@ let replay_record sys skipped (record : Wal.record) =
   | Wal.Txn { handle_ctr; ops } ->
     let eng = System.engine sys in
     Engine.restore_database eng (Wal.apply (Engine.database eng) ops);
+    Handle.advance_counter handle_ctr
+  | Wal.Batch { handle_ctr; txns } ->
+    let eng = System.engine sys in
+    let db =
+      List.fold_left (fun db ops -> Wal.apply db ops) (Engine.database eng) txns
+    in
+    Engine.restore_database eng db;
     Handle.advance_counter handle_ctr
 
 let restore ?config dir =

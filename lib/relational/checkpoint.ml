@@ -70,28 +70,13 @@ let decode ~gen contents =
       let payload = String.sub contents header_len len in
       if Wal.crc32 payload <> crc then None else Some payload
 
-let write_fully fd s =
-  let b = Bytes.unsafe_of_string s in
-  let len = Bytes.length b in
-  let written = ref 0 in
-  while !written < len do
-    written := !written + Unix.write fd b !written (len - !written)
-  done
-
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-  | exception Unix.Unix_error _ -> ()
-
 let write ~dir ~gen payload =
   Fault.hit Fault.Checkpoint_write;
   let tmp = tmp_path ~dir in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   (match
-     write_fully fd (encode ~gen payload);
-     Unix.fsync fd
+     Fileio.write_fully fd (encode ~gen payload);
+     Fileio.fsync fd
    with
   | () -> Unix.close fd
   | exception e ->
@@ -99,7 +84,7 @@ let write ~dir ~gen payload =
     raise e);
   Fault.hit Fault.Checkpoint_rename;
   Unix.rename tmp (path ~dir ~gen);
-  fsync_dir dir
+  Fileio.fsync_dir dir
 
 let read ~dir ~gen =
   let p = path ~dir ~gen in

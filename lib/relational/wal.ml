@@ -67,6 +67,10 @@ type dml =
 type payload =
   | Ddl of string
   | Txn of { handle_ctr : int; ops : dml list }
+  (* [Batch] must stay the third constructor: Marshal encodes
+     constructors by declaration order, and logs written before group
+     commit existed must keep replaying. *)
+  | Batch of { handle_ctr : int; txns : dml list list }
 
 type record = { seq : int; payload : payload }
 
@@ -190,25 +194,6 @@ type writer = {
   mutable size : int;
 }
 
-let write_fully fd s =
-  let b = Bytes.unsafe_of_string s in
-  let len = Bytes.length b in
-  let written = ref 0 in
-  while !written < len do
-    written := !written + Unix.write fd b !written (len - !written)
-  done
-
-(* Best-effort directory sync so a freshly created or renamed file
-   survives a crash of the whole machine; failures (filesystems that
-   refuse fsync on directories) are ignored — the harness only models
-   process death, where directory entries already persist. *)
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
-  | exception Unix.Unix_error _ -> ()
-
 (* Open the generation's log for appending, creating it (with its
    header) if absent.  If the file ends in a torn tail — the previous
    process died mid-append — the tail is truncated away first, so new
@@ -221,9 +206,9 @@ let open_append ?(sync = true) ~dir ~gen () =
     if existing.valid_len = 0 && existing.records = [] then begin
       (* fresh (or unreadable-from-byte-0) file: start it over *)
       Unix.ftruncate fd 0;
-      write_fully fd file_header;
-      if sync then Unix.fsync fd;
-      fsync_dir dir;
+      Fileio.write_fully fd file_header;
+      if sync then Fileio.fsync fd;
+      Fileio.fsync_dir dir;
       String.length file_header
     end
     else begin
@@ -243,9 +228,9 @@ let create ?(sync = true) ~dir ~gen () =
     Unix.openfile p [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
   in
   match
-    write_fully fd file_header;
-    if sync then Unix.fsync fd;
-    fsync_dir dir
+    Fileio.write_fully fd file_header;
+    if sync then Fileio.fsync fd;
+    Fileio.fsync_dir dir
   with
   | () -> { fd; w_path = p; sync; size = String.length file_header }
   | exception e ->
@@ -257,8 +242,8 @@ let append w record =
      became durable, which recovery treats as "never committed" *)
   Fault.hit Fault.Wal_append;
   let bytes = frame record in
-  write_fully w.fd bytes;
-  if w.sync then Unix.fsync w.fd;
+  Fileio.write_fully w.fd bytes;
+  if w.sync then Fileio.fsync w.fd;
   w.size <- w.size + String.length bytes;
   (* the record is durable; a crash from here on keeps it even though
      the committing process never saw the append return *)
@@ -290,6 +275,11 @@ let apply_dml db op =
     Database.replace_table db (Table.update tbl (Handle.restore ~id table) row)
 
 let apply db ops = List.fold_left apply_dml db ops
+
+let payload_txns = function
+  | Ddl _ -> []
+  | Txn { ops; _ } -> [ ops ]
+  | Batch { txns; _ } -> txns
 
 let pp_dml ppf = function
   | L_insert { table; id; row } ->

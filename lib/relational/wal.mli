@@ -25,6 +25,13 @@ type payload =
   | Txn of { handle_ctr : int; ops : dml list }
       (** net effect of a committed transaction; [handle_ctr] is the
           global handle counter at commit time *)
+  | Batch of { handle_ctr : int; txns : dml list list }
+      (** a group-commit batch: the net effects of several committed
+          transactions, written (and made durable) as one frame.  One
+          frame means one CRC: a crash mid-append tears the whole frame
+          away, so recovery sees either every transaction of a batch or
+          none of them — the all-or-none guarantee the concurrent
+          server's group commit relies on. *)
 
 type record = { seq : int; payload : payload }
 
@@ -96,5 +103,11 @@ val apply : Database.t -> dml list -> Database.t
     under their original handles.  The caller replays records in log
     order and calls {!Handle.advance_counter} with the last record's
     counter afterwards. *)
+
+val payload_txns : payload -> dml list list
+(** The per-transaction op lists a payload carries: [[ops]] for a
+    [Txn], one list per member for a [Batch], [[]] for [Ddl] — so
+    harnesses can count committed transactions uniformly across record
+    shapes. *)
 
 val pp_dml : Format.formatter -> dml -> unit

@@ -115,6 +115,35 @@ type txn_log = {
   txl_effect : Effect.t;
 }
 
+(* The transaction-scoped state, split out of the engine record so the
+   transition loop's session state is one value: [begin_txn] resets it,
+   the abort path restores it in one place, and a server session fork
+   starts with a fresh copy while sharing the catalog. *)
+type txn_state = {
+  mutable txn_start : Database.t option; (* Some while a transaction is open *)
+  mutable trans_start : Database.t; (* state at current external transition start *)
+  mutable pending : Effect.t; (* composite effect of the unprocessed external transition *)
+  mutable txn_effect : Effect.t;
+      (* composite effect of the whole transaction so far — external
+         blocks and rule firings alike — maintained incrementally so
+         the commit hook (WAL logging) never diffs database states *)
+  mutable infos : Trans_info.t Str_map.t;
+  mutable considered0 : int Str_map.t;
+      (* [last_considered] at transaction start, restored on abort so a
+         faulted-then-retried transaction sees the same selection state
+         as a fault-free run under every strategy *)
+}
+
+let fresh_txn db =
+  {
+    txn_start = None;
+    trans_start = db;
+    pending = Effect.empty;
+    txn_effect = Effect.empty;
+    infos = Str_map.empty;
+    considered0 = Str_map.empty;
+  }
+
 type t = {
   mutable db : Database.t;
   mutable ddl_gen : int;
@@ -131,22 +160,11 @@ type t = {
          incrementally on rule DDL; [live_index] rebuilds it when its
          generation disagrees with [ddl_gen] (table/index DDL) *)
   mutable priorities : Priority.t;
-  mutable infos : Trans_info.t Str_map.t;
-  mutable txn_start : Database.t option; (* Some while a transaction is open *)
-  mutable trans_start : Database.t; (* state at current external transition start *)
-  mutable pending : Effect.t; (* composite effect of the unprocessed external transition *)
-  mutable txn_effect : Effect.t;
-      (* composite effect of the whole transaction so far — external
-         blocks and rule firings alike — maintained incrementally so
-         the commit hook (WAL logging) never diffs database states *)
+  txn : txn_state;
   mutable commit_hook : (txn_log -> unit) option;
   mutable seq : int;
   clock : Selection.clock;
   mutable last_considered : int Str_map.t;
-  mutable considered0 : int Str_map.t;
-      (* [last_considered] at transaction start, restored on abort so a
-         faulted-then-retried transaction sees the same selection state
-         as a fault-free run under every strategy *)
   config : config;
   procedures : Procedures.registry;
   stats : stats;
@@ -164,6 +182,20 @@ let log_src = Logs.Src.create "sopr.engine" ~doc:"rule engine execution"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let fresh_stats () =
+  {
+    transactions = 0;
+    transitions = 0;
+    rule_firings = 0;
+    conditions_evaluated = 0;
+    rollbacks = 0;
+    aborts = 0;
+    seq_scans = 0;
+    index_probes = 0;
+    candidates_considered = 0;
+    rules_skipped = 0;
+  }
+
 let create ?(config = default_config) db =
   {
     db;
@@ -173,31 +205,51 @@ let create ?(config = default_config) db =
     rule_count = 0;
     rule_index = Rule_index.create ~generation:0 ();
     priorities = Priority.empty;
-    infos = Str_map.empty;
-    txn_start = None;
-    trans_start = db;
-    pending = Effect.empty;
-    txn_effect = Effect.empty;
+    txn = fresh_txn db;
     commit_hook = None;
     seq = 0;
     clock = Selection.make_clock ();
     last_considered = Str_map.empty;
-    considered0 = Str_map.empty;
     config;
     procedures = Procedures.create ();
-    stats =
-      {
-        transactions = 0;
-        transitions = 0;
-        rule_firings = 0;
-        conditions_evaluated = 0;
-        rollbacks = 0;
-        aborts = 0;
-        seq_scans = 0;
-        index_probes = 0;
-        candidates_considered = 0;
-        rules_skipped = 0;
-      };
+    stats = fresh_stats ();
+    tracing = false;
+    trace = [];
+    wall_clock = None;
+    rule_metrics = Hashtbl.create 16;
+  }
+
+(* A session engine for the concurrent server: an independent
+   transaction context over the same committed state.  The rule catalog
+   (rule values, priorities, discrimination index), procedures, config
+   and selection clock are shared — persistent maps make the sharing
+   safe for the catalog fields, and the mutable Rule.t compiled-form
+   caches are write-once-per-generation (a race merely recompiles).
+   Transaction state, stats, metrics and traces start fresh.  Forks
+   must not execute DDL: rule DDL would mutate the *shared*
+   discrimination index behind the parent's back.  The server keeps
+   DDL on the parent and forks sessions from committed snapshots
+   only. *)
+let fork t =
+  if Option.is_some t.txn.txn_start then
+    Errors.raise_error
+      (Errors.Transaction_error "cannot fork inside a transaction");
+  {
+    db = t.db;
+    ddl_gen = t.ddl_gen;
+    rules_rev = t.rules_rev;
+    rules_by_name = t.rules_by_name;
+    rule_count = t.rule_count;
+    rule_index = t.rule_index;
+    priorities = t.priorities;
+    txn = fresh_txn t.db;
+    commit_hook = None;
+    seq = t.seq;
+    clock = t.clock;
+    last_considered = t.last_considered;
+    config = t.config;
+    procedures = t.procedures;
+    stats = fresh_stats ();
     tracing = false;
     trace = [];
     wall_clock = None;
@@ -205,7 +257,7 @@ let create ?(config = default_config) db =
   }
 
 let database t = t.db
-let transition_start t = t.trans_start
+let transition_start t = t.txn.trans_start
 let stats t = t.stats
 let ddl_generation t = t.ddl_gen
 let set_commit_hook t hook = t.commit_hook <- hook
@@ -275,7 +327,7 @@ let compiled_action t (rule : Rule.t) ops =
     cf.Rule.cf_action <- Some (key, cops);
     cops
 
-let in_transaction t = Option.is_some t.txn_start
+let in_transaction t = Option.is_some t.txn.txn_start
 let set_tracing t on = t.tracing <- on
 let set_clock t clock = t.wall_clock <- clock
 let has_clock t = Option.is_some t.wall_clock
@@ -493,10 +545,10 @@ let drop_rule t name =
     List.filter (fun r -> not (String.equal r.Rule.name name)) t.rules_rev;
   t.rules_by_name <- Str_map.remove name t.rules_by_name;
   t.rule_count <- t.rule_count - 1;
-  t.infos <- Str_map.remove name t.infos;
+  t.txn.infos <- Str_map.remove name t.txn.infos;
   t.priorities <- Priority.remove_rule t.priorities name;
   t.last_considered <- Str_map.remove name t.last_considered;
-  t.considered0 <- Str_map.remove name t.considered0;
+  t.txn.considered0 <- Str_map.remove name t.txn.considered0;
   Hashtbl.remove t.rule_metrics name
 
 let set_rule_active t name active =
@@ -521,11 +573,11 @@ let register_procedure t name fn = Procedures.register t.procedures name fn
 let begin_txn t =
   if in_transaction t then
     Errors.raise_error (Errors.Transaction_error "transaction already open");
-  t.txn_start <- Some t.db;
-  t.trans_start <- t.db;
-  t.pending <- Effect.empty;
-  t.txn_effect <- Effect.empty;
-  t.considered0 <- t.last_considered;
+  t.txn.txn_start <- Some t.db;
+  t.txn.trans_start <- t.db;
+  t.txn.pending <- Effect.empty;
+  t.txn.txn_effect <- Effect.empty;
+  t.txn.considered0 <- t.last_considered;
   t.trace <- [];
   t.stats.transactions <- t.stats.transactions + 1
 
@@ -581,8 +633,8 @@ let submit_ops t (ops : Ast.op list) =
   let db0 = t.db in
   match run_ops t ~resolver_of:external_resolver ops with
   | eff, results ->
-    t.pending <- Effect.compose t.pending eff;
-    t.txn_effect <- Effect.compose t.txn_effect eff;
+    t.txn.pending <- Effect.compose t.txn.pending eff;
+    t.txn.txn_effect <- Effect.compose t.txn.txn_effect eff;
     results
   | exception e ->
     t.db <- db0;
@@ -599,16 +651,16 @@ exception Rolled_back_exc
    inspection observe a discarded state), and the selection bookkeeping
    a retry must not see. *)
 let restore_txn_start t =
-  (match t.txn_start with
+  (match t.txn.txn_start with
   | Some db0 ->
     t.db <- db0;
-    t.trans_start <- db0
+    t.txn.trans_start <- db0
   | None -> assert false);
-  t.txn_start <- None;
-  t.pending <- Effect.empty;
-  t.txn_effect <- Effect.empty;
-  t.infos <- Str_map.empty;
-  t.last_considered <- t.considered0
+  t.txn.txn_start <- None;
+  t.txn.pending <- Effect.empty;
+  t.txn.txn_effect <- Effect.empty;
+  t.txn.infos <- Str_map.empty;
+  t.last_considered <- t.txn.considered0
 
 let rollback_to_txn_start t =
   restore_txn_start t;
@@ -627,7 +679,7 @@ let abort_txn t exn =
   t.stats.aborts <- t.stats.aborts + 1
 
 let info_of t name =
-  Option.value (Str_map.find_opt name t.infos) ~default:Trans_info.empty
+  Option.value (Str_map.find_opt name t.txn.infos) ~default:Trans_info.empty
 
 (* The operation block denoted by a rule's action: either its literal
    block or the block computed by an external procedure (Section 5.2). *)
@@ -644,9 +696,9 @@ let action_block t (rule : Rule.t) resolve =
 let process_rules_exn t =
   require_txn t;
   t.stats.transitions <- t.stats.transitions + 1;
-  record t (Ev_external { effect_size = Effect.cardinality t.pending });
+  record t (Ev_external { effect_size = Effect.cardinality t.txn.pending });
   Log.debug (fun m ->
-      m "processing rules for external transition %a" Effect.pp t.pending);
+      m "processing rules for external transition %a" Effect.pp t.txn.pending);
   (* Figure 1: initialize every rule's transition information from the
      external transition's composite effect.  With pruning on
      (Section 4.3), a rule whose predicates mention none of the touched
@@ -667,20 +719,20 @@ let process_rules_exn t =
   let use_index = t.config.rule_index in
   let all_rules = if use_index then [] else rules t in
   let shared = ref Trans_info.empty in
-  let touched = Effect.tables t.pending in
+  let touched = Effect.tables t.txn.pending in
   let relevant_to r =
     List.exists (fun tbl -> Effect.Col_set.mem tbl touched) (Rule.relevant_tables r)
   in
-  let initial = lazy (Trans_info.init t.pending t.trans_start) in
+  let initial = lazy (Trans_info.init t.txn.pending t.txn.trans_start) in
   let init_for r =
     if not t.config.prune_info then Lazy.force initial
     else if not (relevant_to r) then Trans_info.empty
-    else Trans_info.init (Effect.restrict t.pending (Rule.relevant r)) t.trans_start
+    else Trans_info.init (Effect.restrict t.txn.pending (Rule.relevant r)) t.txn.trans_start
   in
   if use_index then begin
     shared := Lazy.force initial;
-    let woken = Rule_index.matching (live_index t) t.pending in
-    t.infos <-
+    let woken = Rule_index.matching (live_index t) t.txn.pending in
+    t.txn.infos <-
       Rule_index.Str_set.fold
         (fun name m ->
           match find_rule t name with
@@ -689,11 +741,11 @@ let process_rules_exn t =
         woken Str_map.empty
   end
   else
-    t.infos <-
+    t.txn.infos <-
       List.fold_left
         (fun m r -> Str_map.add r.Rule.name (init_for r) m)
         Str_map.empty all_rules;
-  t.pending <- Effect.empty;
+  t.txn.pending <- Effect.empty;
   let steps = ref 0 in
   let considered = ref Str_set.empty in
   let rec loop () =
@@ -711,7 +763,7 @@ let process_rules_exn t =
                    && Trans_info.triggered info (Rule.trans_preds r) ->
               r :: acc
             | _ -> acc)
-          t.infos []
+          t.txn.infos []
       else
         List.filter
           (fun r ->
@@ -720,7 +772,7 @@ let process_rules_exn t =
             && Trans_info.triggered (info_of t r.Rule.name) (Rule.trans_preds r))
           all_rules
     in
-    let examined = if use_index then Str_map.cardinal t.infos else t.rule_count in
+    let examined = if use_index then Str_map.cardinal t.txn.infos else t.rule_count in
     t.stats.candidates_considered <- t.stats.candidates_considered + examined;
     t.stats.rules_skipped <- t.stats.rules_skipped + (t.rule_count - examined);
     let last_considered name =
@@ -798,7 +850,7 @@ let process_rules_exn t =
                 let ops = action_block t rule resolve in
                 run_ops t ~resolver_of ops)
         in
-        t.txn_effect <- Effect.compose t.txn_effect eff;
+        t.txn.txn_effect <- Effect.compose t.txn.txn_effect eff;
         m.m_fired <- m.m_fired + 1;
         m.m_effect_tuples <- m.m_effect_tuples + Effect.cardinality eff;
         record t
@@ -831,7 +883,7 @@ let process_rules_exn t =
              transition for it, otherwise it would stay triggered
              forever. *)
           shared := Trans_info.extend !shared eff old_db;
-          t.infos <-
+          t.txn.infos <-
             Str_map.fold
               (fun name info m ->
                 if String.equal name rule.Rule.name then m
@@ -845,9 +897,9 @@ let process_rules_exn t =
                       Str_map.add name
                         (Trans_info.extend info (effect_for r) old_db)
                         m)
-              t.infos Str_map.empty;
+              t.txn.infos Str_map.empty;
           let woken = Rule_index.matching (live_index t) eff in
-          t.infos <-
+          t.txn.infos <-
             Rule_index.Str_set.fold
               (fun name m ->
                 if Str_map.mem name m || String.equal name rule.Rule.name then m
@@ -861,14 +913,14 @@ let process_rules_exn t =
                       else !shared
                     in
                     Str_map.add name info m)
-              woken t.infos;
-          t.infos <-
+              woken t.txn.infos;
+          t.txn.infos <-
             Str_map.add rule.Rule.name
               (Trans_info.init (effect_for rule) old_db)
-              t.infos
+              t.txn.infos
         end
         else
-          t.infos <-
+          t.txn.infos <-
             List.fold_left
               (fun m r ->
                 if String.equal r.Rule.name rule.Rule.name then
@@ -878,7 +930,7 @@ let process_rules_exn t =
                   Str_map.add r.Rule.name
                     (Trans_info.extend (info_of t r.Rule.name) (effect_for r) old_db)
                     m)
-              t.infos all_rules;
+              t.txn.infos all_rules;
         (* new state: every triggered rule becomes considerable again *)
         considered := Str_set.empty;
         loop ()
@@ -897,7 +949,7 @@ let process_rules_exn t =
 let process_rules t =
   match process_rules_exn t with
   | () ->
-    t.trans_start <- t.db;
+    t.txn.trans_start <- t.db;
     Committed
   | exception Rolled_back_exc -> Rolled_back
   | exception e ->
@@ -920,14 +972,14 @@ let commit t =
       | None -> ()
       | Some hook ->
         let before =
-          match t.txn_start with Some db -> db | None -> assert false
+          match t.txn.txn_start with Some db -> db | None -> assert false
         in
-        hook { txl_before = before; txl_after = t.db; txl_effect = t.txn_effect }
+        hook { txl_before = before; txl_after = t.db; txl_effect = t.txn.txn_effect }
     with
     | () ->
-      t.txn_start <- None;
-      t.txn_effect <- Effect.empty;
-      t.infos <- Str_map.empty;
+      t.txn.txn_start <- None;
+      t.txn.txn_effect <- Effect.empty;
+      t.txn.infos <- Str_map.empty;
       Committed
     | exception e ->
       abort_txn t e;
@@ -1144,4 +1196,4 @@ let restore_database t db =
     Errors.raise_error
       (Errors.Transaction_error "cannot restore inside a transaction");
   t.db <- db;
-  t.trans_start <- db
+  t.txn.trans_start <- db

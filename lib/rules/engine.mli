@@ -112,6 +112,18 @@ type txn_log = {
 val create : ?config:config -> Database.t -> t
 val database : t -> Database.t
 
+val fork : t -> t
+(** A session engine for the concurrent server: an independent
+    transaction context (fresh transaction state, stats, metrics,
+    traces) over the same committed database state, sharing the rule
+    catalog, priorities, discrimination index, procedures, config and
+    selection clock.  The persistent data structures make the sharing
+    copy-free.  A fork must not execute DDL (rule DDL would mutate the
+    shared discrimination index behind the parent's back) — the server
+    keeps DDL on the parent engine and forks sessions from committed
+    snapshots only.  Raises [Transaction_error] inside a
+    transaction. *)
+
 val transition_start : t -> Database.t
 (** The state at the start of the current external transition (equal to
     the current database outside a transaction and after an abort or

@@ -1,0 +1,19 @@
+(* A minimal blocking client for the line protocol: one request line
+   out, one framed response in.  Used by the REPL-ish [sopr-server
+   client], the workload driver, the smoke script and the tests. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let request t line =
+  Protocol.send_line t.fd line;
+  Protocol.read_response t.ic
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,15 @@
+(** A minimal blocking client for the server's line protocol. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP-connect to a server ([host] defaults to 127.0.0.1). *)
+
+val request : t -> string -> (string, string) result
+(** Send one request line (a SQL script or a ['\']-meta command) and
+    read its framed response: [Ok body] / [Error body].  Raises
+    [End_of_file] if the server closes the connection, and
+    [Unix.Unix_error (EPIPE, _, _)] if it is already gone when we
+    write. *)
+
+val close : t -> unit

@@ -1,0 +1,52 @@
+(* The wire protocol, shared by the server's connection handler and the
+   client library.
+
+   Line-based, newline-framed:
+
+     request   :=  one line — a ';'-separated SQL script, or a meta
+                   command starting with '\' (\q, \stats, \checkpoint,
+                   \version)
+     response  :=  "ok <k>\n"  k payload lines
+                |  "err <k>\n" k payload lines
+
+   Payload lines never contain newlines (multi-line renderings are
+   split and counted), so a reader needs no lookahead and a partial
+   response is detectable by the line count.
+
+   Writes go through [Fileio.write_fully] on the raw descriptor — one
+   write per response, EINTR-retried, and failures surface as
+   [Unix.Unix_error (EPIPE | ECONNRESET, ...)] rather than a channel's
+   [Sys_error], which is what lets the server treat a dead client as a
+   per-connection event. *)
+
+let send_line fd line =
+  Relational.Fileio.write_fully fd (line ^ "\n")
+
+let write_response fd ~ok body =
+  let lines = if body = "" then [] else String.split_on_char '\n' body in
+  let buf = Buffer.create (String.length body + 16) in
+  Buffer.add_string buf (if ok then "ok " else "err ");
+  Buffer.add_string buf (string_of_int (List.length lines));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    lines;
+  Relational.Fileio.write_fully fd (Buffer.contents buf)
+
+exception Malformed of string
+
+let read_response ic =
+  let status = input_line ic in
+  match String.index_opt status ' ' with
+  | None -> raise (Malformed status)
+  | Some i -> (
+    let tag = String.sub status 0 i in
+    let count = String.sub status (i + 1) (String.length status - i - 1) in
+    match (tag, int_of_string_opt count) with
+    | ("ok" | "err"), Some n when n >= 0 ->
+      let lines = List.init n (fun _ -> input_line ic) in
+      let body = String.concat "\n" lines in
+      if tag = "ok" then Ok body else Error body
+    | _ -> raise (Malformed status))

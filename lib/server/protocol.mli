@@ -1,0 +1,20 @@
+(** The line-based wire protocol shared by server and client.
+
+    A request is one line (a ';'-separated SQL script or a
+    ['\']-prefixed meta command); a response is a status line
+    ["ok <k>"] or ["err <k>"] followed by exactly [k] newline-free
+    payload lines. *)
+
+val send_line : Unix.file_descr -> string -> unit
+(** Write [line ^ "\n"] with a single EINTR-retried full write. *)
+
+val write_response : Unix.file_descr -> ok:bool -> string -> unit
+(** Frame [body] (split on newlines and counted) under an ["ok"] or
+    ["err"] status line, as one write. *)
+
+exception Malformed of string
+(** A status line that does not parse — raised by {!read_response}. *)
+
+val read_response : in_channel -> (string, string) result
+(** Read one framed response; [Ok body] for ["ok"], [Error body] for
+    ["err"].  Raises [End_of_file] on a closed peer. *)

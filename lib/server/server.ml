@@ -1,0 +1,840 @@
+(* The concurrent-session server: many client sessions multiplexed over
+   one engine, with snapshot reads and first-committer-wins commits.
+
+   The paper's semantics — a sequence of committed transitions, each
+   one transaction's net effect — never required a single session; it
+   only requires that the committed sequence LOOKS serial.  The server
+   keeps exactly that: a PRIMARY engine holding the committed state
+   (it never runs transactions itself), a monotone version counter,
+   and a history of committed transitions' write sets.  Sessions work
+   on [Engine.fork]s of the committed state:
+
+   - Reads outside a transaction evaluate against a per-session
+     snapshot fork, refreshed when the committed version moves.  The
+     persistent storage makes the snapshot a pointer copy; readers
+     never block writers and hold no locks while evaluating.
+
+   - A transaction is a fork taken at some version v.  Its operations
+     and rule processing run entirely on the fork.  At commit, the
+     transaction's composite [Effect]'s write set (D ∪ U handles) is
+     intersected with the write sets of transitions committed after v:
+     any overlap, or any DDL after v, is a serialization failure and
+     the transaction aborts with its exact snapshot restore (the PR2
+     abort path).  First committer wins.  Inserts never collide —
+     handles are minted from a process-global counter, so two sessions
+     can never create the same handle.
+
+     Write-write validation alone is SNAPSHOT ISOLATION: write skew
+     and phantoms are possible, because nothing records what a
+     transaction READ — in particular a scalar subquery or a rule
+     condition evaluated during rule processing leaves no trace in the
+     effect at all.  When the engine is configured with
+     [track_selects] the server escalates to SERIALIZABLE: every
+     transaction also claims, at table granularity, the set of base
+     tables its statements could have read — collected statically from
+     the statement ASTs (so a predicate that matched nothing still
+     claims its table) and closed over the rule catalog (so reads
+     performed by any rule the transaction could have woken are
+     claimed too).  A commit conflicts if its read claims intersect
+     the tables WRITTEN by any transition after v.  Table granularity
+     over-approximates — disjoint-row writers to a table one of them
+     reads will conflict and retry — which costs throughput under
+     contention, never correctness.
+
+   - A winning transaction becomes durable (WAL append — direct or via
+     group commit), and only THEN is applied to the primary and
+     published under the next version.  The claim-to-publish window is
+     tracked in [in_flight], so a concurrent committer conflicts with a
+     transaction that is durable (or flushing) but not yet published.
+     Publishes happen strictly in claim order, and a group-commit
+     ticket is taken at claim time under the state lock, so claim
+     order, WAL order and version order are one and the same — replay
+     of the log reproduces exactly the published sequence.
+
+   Locking: [lock] guards version/history/in-flight/actives and every
+   primary-engine mutation; the durable layer's own I/O lock guards the
+   disk (order: state lock first, never the reverse); group-commit
+   tickets are taken (briefly, under the state lock) at claim time and
+   awaited on its private mutex/condvar with neither lock held.  Session
+   threads are systhreads — evaluation interleaves at safepoints
+   within one domain, so the shared persistent structures need no
+   further synchronization; the only shared mutable caches (compiled
+   rule forms) are write-once per generation, where a race costs a
+   recompile, not correctness. *)
+
+open Core
+module Ast = Sqlf.Ast
+module Parser = Sqlf.Parser
+module Rule = Rules.Rule
+module Wal = Relational.Wal
+module Fileio = Relational.Fileio
+module Durable = Durability.Durable
+module Group_commit = Durability.Group_commit
+
+type mode = Memory | Wal_sync | Wal_nosync | Wal_group
+
+let mode_name = function
+  | Memory -> "memory"
+  | Wal_sync -> "sync"
+  | Wal_nosync -> "nosync"
+  | Wal_group -> "group"
+
+type stats = {
+  mutable sv_connections : int;
+  mutable sv_requests : int;
+  mutable sv_commits : int;  (* published transactions, DDL excluded *)
+  mutable sv_conflicts : int;  (* serialization failures *)
+  mutable sv_errors : int;  (* requests answered with err *)
+  mutable sv_disconnects : int;  (* sessions that died mid-conversation *)
+  mutable sv_checkpoint_failures : int;
+}
+
+type history_entry = {
+  h_version : int;
+  h_writes : Handle.Set.t;  (* deleted ∪ updated handles *)
+  h_tables : Effect.Col_set.t;  (* tables written: inserted ∪ deleted ∪ updated *)
+  h_ddl : bool;  (* DDL conflicts with every concurrent transaction *)
+}
+
+type t = {
+  lock : Mutex.t;
+  commit_cond : Condition.t;  (* signalled whenever in_flight shrinks *)
+  primary : System.t;
+  durable : Durable.t option;
+  group : Group_commit.t option;
+  serializable : bool;  (* table-granularity read claims (track_selects) *)
+  mutable version : int;
+  mutable history : history_entry list;  (* newest first, pruned *)
+  (* txn id, write set, tables written *)
+  mutable in_flight : (int * Handle.Set.t * Effect.Col_set.t) list;
+  mutable active_txns : (int * int) list;  (* session id, start version *)
+  mutable next_session : int;
+  mutable next_txn : int;
+  stats : stats;
+}
+
+type session = {
+  server : t;
+  sid : int;
+  mutable txn : System.t option;  (* the open transaction's fork *)
+  mutable txn_id : int;
+  mutable start_version : int;
+  mutable committed_at : int;  (* version of this session's last commit *)
+  mutable reader : (int * System.t) option;  (* cached snapshot fork *)
+  (* statement-level predicate footprint of the open transaction: the
+     base tables its statements filter over (scan) and every table they
+     reference at all (touch), collected from the ASTs — a predicate
+     that matched zero tuples in the snapshot appears here even though
+     the effect never saw it *)
+  mutable scan_tables : Effect.Col_set.t;
+  mutable touch_tables : Effect.Col_set.t;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create ?config ?checkpoint_interval ?data_dir mode =
+  let durable, primary =
+    match mode with
+    | Memory -> (None, System.create ?config ())
+    | Wal_sync | Wal_nosync | Wal_group ->
+      let dir =
+        match data_dir with
+        | Some d -> d
+        | None ->
+          Errors.semantic "server mode %S requires a data directory"
+            (mode_name mode)
+      in
+      let sync = mode <> Wal_nosync in
+      let d, _info = Durable.open_dir ?config ?checkpoint_interval ~sync dir in
+      (Some d, Durable.system d)
+  in
+  let group =
+    match (mode, durable) with
+    | Wal_group, Some d ->
+      Some (Group_commit.create ~flush:(fun txns -> Durable.append_txn_batch d txns))
+    | _ -> None
+  in
+  {
+    lock = Mutex.create ();
+    commit_cond = Condition.create ();
+    primary;
+    durable;
+    group;
+    serializable =
+      (match config with
+      | Some c -> c.Engine.track_selects
+      | None -> false);
+    version = 0;
+    history = [];
+    in_flight = [];
+    active_txns = [];
+    next_session = 0;
+    next_txn = 0;
+    stats =
+      {
+        sv_connections = 0;
+        sv_requests = 0;
+        sv_commits = 0;
+        sv_conflicts = 0;
+        sv_errors = 0;
+        sv_disconnects = 0;
+        sv_checkpoint_failures = 0;
+      };
+  }
+
+let system t = t.primary
+let version t = with_lock t (fun () -> t.version)
+let stats t = t.stats
+let group_stats t = Option.map Group_commit.stats t.group
+let group_pending t = Option.map Group_commit.pending t.group
+
+let set_group_paused t paused =
+  match t.group with
+  | Some g -> Group_commit.set_paused g paused
+  | None -> ()
+
+let close t =
+  match t.durable with Some d -> Durable.close d | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Conflict detection                                                  *)
+
+let writes_of (eff : Effect.t) =
+  Handle.Map.fold (fun h _ s -> Handle.Set.add h s) eff.Effect.upd eff.Effect.del
+
+(* Tables the transaction READ at some granularity: a delete or update
+   reached its tuples through a predicate, and a tracked select read
+   them — each is a table-level read as far as concurrent writers are
+   concerned.  Seeds the serializable-mode claim set alongside the
+   statement footprints. *)
+let read_tables_of (eff : Effect.t) =
+  let add h acc = Effect.Col_set.add (Handle.table h) acc in
+  let acc = Handle.Set.fold add eff.Effect.del Effect.Col_set.empty in
+  let acc = Handle.Map.fold (fun h _ a -> add h a) eff.Effect.upd acc in
+  Handle.Map.fold (fun h _ a -> add h a) eff.Effect.sel acc
+
+(* Tables the transaction wrote — what later claimers' read claims are
+   validated against. *)
+let write_tables_of (eff : Effect.t) =
+  let add h acc = Effect.Col_set.add (Handle.table h) acc in
+  let acc = Handle.Set.fold add eff.Effect.ins Effect.Col_set.empty in
+  let acc = Handle.Set.fold add eff.Effect.del acc in
+  Handle.Map.fold (fun h _ a -> add h a) eff.Effect.upd acc
+
+(* Statement-level footprints, from the AST.  [op_scan_tables] is the
+   tables an operation's predicates and embedded selects filter over —
+   a read of the table as a whole, claimed even when the predicate
+   matched nothing.  [op_touch_tables] adds the write target, seeding
+   the rule-cascade closure below. *)
+let add_expr_tables acc e =
+  Ast.fold_base_tables_expr (fun a tb -> Effect.Col_set.add tb a) acc e
+
+let add_select_tables acc sel =
+  Ast.fold_base_tables_select (fun a tb -> Effect.Col_set.add tb a) acc sel
+
+let op_scan_tables acc = function
+  | Ast.Insert { source = `Values rows; _ } ->
+    List.fold_left (List.fold_left add_expr_tables) acc rows
+  | Ast.Insert { source = `Select sel; _ } -> add_select_tables acc sel
+  | Ast.Delete { table; where } ->
+    let acc = Effect.Col_set.add table acc in
+    (match where with None -> acc | Some e -> add_expr_tables acc e)
+  | Ast.Update { table; sets; where } ->
+    let acc = Effect.Col_set.add table acc in
+    let acc = List.fold_left (fun a (_, e) -> add_expr_tables a e) acc sets in
+    (match where with None -> acc | Some e -> add_expr_tables acc e)
+  | Ast.Select_op sel -> add_select_tables acc sel
+
+let op_touch_tables acc op =
+  let acc = op_scan_tables acc op in
+  match op with
+  | Ast.Insert { table; _ } | Ast.Delete { table; _ } | Ast.Update { table; _ } ->
+    Effect.Col_set.add table acc
+  | Ast.Select_op _ -> acc
+
+(* Close the claim set over the rule catalog: any active rule the
+   transaction's footprint could have woken — directly or through a
+   cascade of rule actions — contributes the tables its condition and
+   action predicates read, because those reads happened (or would have
+   happened serially) during rule processing.  A static fixpoint over
+   rule definitions: it over-approximates what actually fired, which
+   only costs spurious conflicts, never misses. *)
+let rule_closure_claims rules ~touched ~claims =
+  let claims = ref claims and touched = ref touched in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Rule.t) ->
+        if
+          r.Rule.active
+          && List.exists
+               (fun tb -> Effect.Col_set.mem tb !touched)
+               (Rule.relevant_tables r)
+        then begin
+          let c0 = !claims and t0 = !touched in
+          (match Rule.condition r with
+          | Some e ->
+            claims := add_expr_tables !claims e;
+            touched := add_expr_tables !touched e
+          | None -> ());
+          (match Rule.action r with
+          | Ast.Act_block ops ->
+            List.iter
+              (fun op ->
+                claims := op_scan_tables !claims op;
+                touched := op_touch_tables !touched op)
+              ops
+          | Ast.Act_rollback | Ast.Act_call _ -> ());
+          if
+            not
+              (Effect.Col_set.equal c0 !claims
+              && Effect.Col_set.equal t0 !touched)
+          then changed := true
+        end)
+      rules
+  done;
+  !claims
+
+let overlap a b =
+  (not (Handle.Set.is_empty a))
+  && (not (Handle.Set.is_empty b))
+  && Handle.Set.exists (fun h -> Handle.Set.mem h b) a
+
+let overlap_tables a b = not (Effect.Col_set.disjoint a b)
+
+(* Called with the state lock held.  History is pruned to entries newer
+   than the oldest active transaction's start, so the scan covers the
+   concurrency window, not the whole run.  Handle-granularity
+   write-write overlap gives snapshot isolation.  [claims] (empty
+   unless the server is serializable) is the transaction's
+   table-granularity read set, validated against the tables every
+   concurrent transition wrote: a read claim over a written table means
+   the snapshot the transaction computed from may be stale, so it must
+   retry.  The check is one-directional — a claimer checks transactions
+   claimed before it, never the reverse — which is sound because
+   publishes happen in claim order ({!await_publish_turn}): reads
+   serialized BEFORE a write never needed to see it. *)
+let conflicts t ~start_version ~writes ~claims =
+  List.exists
+    (fun e ->
+      e.h_version > start_version
+      && (e.h_ddl || overlap writes e.h_writes
+          || overlap_tables claims e.h_tables))
+    t.history
+  || List.exists
+       (fun (_, w, wt) -> overlap writes w || overlap_tables claims wt)
+       t.in_flight
+
+let prune_history t =
+  let min_start =
+    List.fold_left (fun acc (_, sv) -> min acc sv) t.version t.active_txns
+  in
+  t.history <- List.filter (fun e -> e.h_version > min_start) t.history
+
+(* ------------------------------------------------------------------ *)
+(* The commit protocol                                                 *)
+
+let serialization_failure () =
+  Errors.raise_error
+    (Errors.Transaction_error
+       "serialization failure: a concurrent transaction committed a \
+        conflicting write (retry the transaction)")
+
+let unclaim t txn_id =
+  t.in_flight <- List.filter (fun (id, _, _) -> id <> txn_id) t.in_flight;
+  Condition.broadcast t.commit_cond
+
+(* The in-flight validation is one-directional — a claimer checks the
+   transactions claimed before it, never the other way round — so the
+   serialization order must BE the claim order.  Publishes therefore
+   wait until they are the oldest claim standing; a failed claim
+   (durability error) releases its slot through {!unclaim}, which wakes
+   the waiters.  Called with the state lock held. *)
+let await_publish_turn t txn_id =
+  let oldest () =
+    match List.rev t.in_flight with
+    | (id, _, _) :: _ -> id
+    | [] -> txn_id
+  in
+  while oldest () <> txn_id do
+    Condition.wait t.commit_cond t.lock
+  done
+
+(* A checkpoint needs a moment when no transaction sits between WAL
+   append and primary apply: the image must not claim records the
+   primary has not absorbed (cp_next_seq would then skip a durable but
+   unapplied transaction).  Holding the state lock with [in_flight]
+   empty is exactly that moment. *)
+let maybe_checkpoint_locked t =
+  match t.durable with
+  | Some d when Durable.checkpoint_due d && t.in_flight = [] -> (
+    try Durable.checkpoint d
+    with _ ->
+      (* the committed transaction is already durable and published;
+         a failed checkpoint only postpones log truncation *)
+      t.stats.sv_checkpoint_failures <- t.stats.sv_checkpoint_failures + 1)
+  | _ -> ()
+
+(* The commit hook installed on every session fork.  Runs at the fork
+   engine's commit point: a raise here makes the engine abort with its
+   exact snapshot restore, which is how both serialization failures and
+   failed WAL flushes surface to the session. *)
+let session_commit_hook t session (txl : Engine.txn_log) =
+  let eff = txl.Engine.txl_effect in
+  let writes = writes_of eff in
+  let wtables = write_tables_of eff in
+  let claims =
+    if not t.serializable then Effect.Col_set.empty
+    else
+      let eng =
+        match session.txn with
+        | Some sys -> System.engine sys
+        | None -> System.engine t.primary
+      in
+      rule_closure_claims (Engine.rules eng)
+        ~touched:
+          (Effect.Col_set.union session.touch_tables (Effect.tables eff))
+        ~claims:
+          (Effect.Col_set.union session.scan_tables (read_tables_of eff))
+  in
+  (* claim: conflict-check against published history and the
+     claim-to-publish window, then enter that window.  A group-commit
+     ticket is taken inside the same critical section, so WAL batch
+     order is identical to claim order — and hence to publish/version
+     order, since publishes wait their claim turn.  Without this a
+     transaction claiming just before a round closes could queue into
+     the NEXT round, stalling every later claimer of the current round
+     behind a second fsync. *)
+  let ops, ticket =
+    with_lock t (fun () ->
+        if conflicts t ~start_version:session.start_version ~writes ~claims
+        then begin
+          t.stats.sv_conflicts <- t.stats.sv_conflicts + 1;
+          serialization_failure ()
+        end;
+        let ops = Durable.dml_of_log txl in
+        t.in_flight <- (session.txn_id, writes, wtables) :: t.in_flight;
+        let ticket =
+          Option.map (fun g -> Group_commit.enqueue g ops) t.group
+        in
+        (ops, ticket))
+  in
+  (* make it durable — outside the state lock, so the fsync (direct or
+     via a group-commit round) never blocks readers or other claims *)
+  (match (t.durable, t.group, ticket) with
+  | None, _, _ -> ()
+  | Some d, None, _ -> (
+    try Durable.append_txn d ops
+    with e ->
+      with_lock t (fun () -> unclaim t session.txn_id);
+      raise e)
+  | Some _, Some g, Some tk -> (
+    try Group_commit.await g tk
+    with e ->
+      with_lock t (fun () -> unclaim t session.txn_id);
+      raise e)
+  | Some _, Some _, None -> assert false);
+  (* publish: apply to the primary and expose the new version, strictly
+     in claim order *)
+  with_lock t (fun () ->
+      await_publish_turn t session.txn_id;
+      unclaim t session.txn_id;
+      let eng = System.engine t.primary in
+      Engine.restore_database eng (Wal.apply (Engine.database eng) ops);
+      t.version <- t.version + 1;
+      t.history <-
+        {
+          h_version = t.version;
+          h_writes = writes;
+          h_tables = wtables;
+          h_ddl = false;
+        }
+        :: t.history;
+      session.committed_at <- t.version;
+      t.stats.sv_commits <- t.stats.sv_commits + 1;
+      maybe_checkpoint_locked t)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+
+let open_session t =
+  with_lock t (fun () ->
+      t.next_session <- t.next_session + 1;
+      t.stats.sv_connections <- t.stats.sv_connections + 1;
+      {
+        server = t;
+        sid = t.next_session;
+        txn = None;
+        txn_id = 0;
+        start_version = 0;
+        committed_at = 0;
+        reader = None;
+        scan_tables = Effect.Col_set.empty;
+        touch_tables = Effect.Col_set.empty;
+      })
+
+(* Fork a transaction context from the committed state.  The fork (a
+   pointer copy thanks to persistent storage) happens under the state
+   lock so the snapshot is consistent with its recorded version. *)
+let start_txn t session =
+  let sys =
+    with_lock t (fun () ->
+        let eng = Engine.fork (System.engine t.primary) in
+        session.start_version <- t.version;
+        t.next_txn <- t.next_txn + 1;
+        session.txn_id <- t.next_txn;
+        t.active_txns <- (session.sid, t.version) :: t.active_txns;
+        System.of_engine eng)
+  in
+  Engine.set_commit_hook (System.engine sys)
+    (Some (session_commit_hook t session));
+  Engine.begin_txn (System.engine sys);
+  session.scan_tables <- Effect.Col_set.empty;
+  session.touch_tables <- Effect.Col_set.empty;
+  session.txn <- Some sys
+
+let end_txn t session =
+  session.txn <- None;
+  with_lock t (fun () ->
+      t.active_txns <- List.filter (fun (sid, _) -> sid <> session.sid) t.active_txns;
+      prune_history t)
+
+let close_session t session =
+  (match session.txn with
+  | Some sys ->
+    (try Engine.rollback_txn (System.engine sys) with _ -> ());
+    end_txn t session
+  | None -> ());
+  session.reader <- None
+
+(* The snapshot a non-transactional read evaluates against: cached per
+   session, re-forked (under the lock, a pointer copy) whenever the
+   committed version has moved.  Evaluation happens with no lock held. *)
+let reader_sys t session =
+  with_lock t (fun () ->
+      match session.reader with
+      | Some (v, sys) when v = t.version -> sys
+      | _ ->
+        let sys = System.of_engine (Engine.fork (System.engine t.primary)) in
+        session.reader <- Some (t.version, sys);
+        sys)
+
+(* ------------------------------------------------------------------ *)
+(* Statement dispatch                                                  *)
+
+(* DDL executes on the primary, under the state lock, and publishes a
+   conflicts-with-everything history entry: a session transaction
+   forked before the DDL carries the old catalog and must not commit
+   over the new one.  The durable layer's DDL hook logs the statement
+   write-ahead as in the embedded system. *)
+let exec_ddl t stmt =
+  with_lock t (fun () ->
+      let r = System.exec_statement t.primary stmt in
+      t.version <- t.version + 1;
+      t.history <-
+        {
+          h_version = t.version;
+          h_writes = Handle.Set.empty;
+          h_tables = Effect.Col_set.empty;
+          h_ddl = true;
+        }
+        :: t.history;
+      maybe_checkpoint_locked t;
+      r)
+
+(* Run one statement inside the session's open transaction, keeping the
+   session's transaction bookkeeping in sync with the engine's: commit,
+   rollback, a fired rollback rule, or an aborting error all close the
+   engine transaction, and the session must notice whichever way the
+   statement ended. *)
+let record_footprint session stmt =
+  if session.server.serializable then
+    match stmt with
+    | Ast.Stmt_op op ->
+      session.scan_tables <- op_scan_tables session.scan_tables op;
+      session.touch_tables <- op_touch_tables session.touch_tables op
+    | _ -> ()
+
+let in_txn_stmt t session sys stmt =
+  let sync () =
+    if not (Engine.in_transaction (System.engine sys)) then end_txn t session
+  in
+  record_footprint session stmt;
+  match System.exec_statement sys stmt with
+  | r ->
+    sync ();
+    (match (stmt, r) with
+    | Ast.Stmt_commit, System.Outcome Engine.Committed ->
+      (* surfacing the commit version lets clients order their commits
+         against other sessions' (the differential harness replays in
+         this order) *)
+      System.Msg (Printf.sprintf "committed at version %d" session.committed_at)
+    | _ -> r)
+  | exception e ->
+    sync ();
+    raise e
+
+(* An operation arriving outside any transaction is an implicit
+   single-operation transaction — the paper's default
+   one-block-one-transaction behaviour, served through the same fork +
+   conflict-check + publish path as explicit transactions. *)
+let autocommit t session stmt =
+  start_txn t session;
+  record_footprint session stmt;
+  let sys = match session.txn with Some s -> s | None -> assert false in
+  match
+    let r = System.exec_statement sys stmt in
+    (r, Engine.commit (System.engine sys))
+  with
+  | r, Engine.Committed ->
+    end_txn t session;
+    (match r with System.Relation _ -> r | _ -> System.Outcome Engine.Committed)
+  | _, Engine.Rolled_back ->
+    end_txn t session;
+    System.Outcome Engine.Rolled_back
+  | exception e ->
+    (match session.txn with
+    | Some sys when Engine.in_transaction (System.engine sys) ->
+      (try Engine.rollback_txn (System.engine sys) with _ -> ())
+    | _ -> ());
+    end_txn t session;
+    raise e
+
+let exec_stmt t session (stmt : Ast.statement) =
+  match session.txn with
+  | Some sys ->
+    if System.is_ddl stmt then
+      (* even rule DDL, which the engine allows mid-transaction, is
+         rejected here: on a fork it would mutate the shared
+         discrimination index behind the primary's back *)
+      Errors.raise_error
+        (Errors.Transaction_error
+           "DDL inside a server transaction is not supported")
+    else in_txn_stmt t session sys stmt
+  | None -> (
+    match stmt with
+    | Ast.Stmt_begin ->
+      start_txn t session;
+      System.Msg "transaction started"
+    | Ast.Stmt_commit | Ast.Stmt_rollback | Ast.Stmt_process_rules ->
+      Errors.raise_error (Errors.Transaction_error "no open transaction")
+    | _ when System.is_ddl stmt -> exec_ddl t stmt
+    | Ast.Stmt_op (Ast.Select_op _) | Ast.Stmt_show_tables | Ast.Stmt_show_rules
+    | Ast.Stmt_explain _ | Ast.Stmt_describe _ ->
+      (* snapshot read: no locks held during evaluation *)
+      System.exec_statement (reader_sys t session) stmt
+    | Ast.Stmt_op _ -> autocommit t session stmt
+    | _ ->
+      (* every DDL constructor is caught by the is_ddl guard above *)
+      assert false)
+
+(* Execute a ';'-separated script, statement by statement.  Statements
+   before a failing one keep their effects (matching the embedded
+   REPL); the error is reported and the rest of the script skipped. *)
+let exec_script t session text =
+  match Parser.parse_script text with
+  | stmts ->
+    let buf = Buffer.create 64 in
+    let rec run = function
+      | [] -> Ok (Buffer.contents buf)
+      | stmt :: rest -> (
+        match exec_stmt t session stmt with
+        | r ->
+          if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+          Buffer.add_string buf (System.render_result r);
+          run rest
+        | exception Errors.Error e -> Error (Errors.to_string e))
+    in
+    run stmts
+  | exception Errors.Error e -> Error (Errors.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Meta commands and stats rendering                                   *)
+
+let render_stats t =
+  let s = t.stats in
+  let base =
+    with_lock t (fun () ->
+        Printf.sprintf
+          "version: %d\nconnections: %d\nrequests: %d\ncommits: %d\n\
+           conflicts: %d\nerrors: %d\ndisconnects: %d\nopen transactions: %d"
+          t.version s.sv_connections s.sv_requests s.sv_commits s.sv_conflicts
+          s.sv_errors s.sv_disconnects
+          (List.length t.active_txns))
+  in
+  match group_stats t with
+  | None -> base
+  | Some g ->
+    Printf.sprintf
+      "%s\ngroup commit: %d batches, %d txns, max batch %d" base
+      g.Group_commit.gc_batches g.Group_commit.gc_txns g.Group_commit.gc_max_batch
+
+let checkpoint_now t =
+  match t.durable with
+  | None -> Error "no data directory (in-memory server)"
+  | Some d ->
+    with_lock t (fun () ->
+        if t.in_flight <> [] then
+          Error "commits in flight; retry"
+        else
+          match Durable.checkpoint d with
+          | () -> Ok (Printf.sprintf "checkpoint written (generation %d)"
+                        (Durable.generation d))
+          | exception Errors.Error e -> Error (Errors.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* The socket front-end                                                *)
+
+(* One request line in, one framed response out.  [`Quit] closes the
+   conversation cleanly. *)
+let handle_request t session line =
+  t.stats.sv_requests <- t.stats.sv_requests + 1;
+  let trimmed = String.trim line in
+  if trimmed = "" then `Reply (Ok "")
+  else if trimmed.[0] = '\\' then
+    match trimmed with
+    | "\\q" | "\\quit" -> `Quit
+    | "\\stats" -> `Reply (Ok (render_stats t))
+    | "\\version" -> `Reply (Ok (string_of_int (version t)))
+    | "\\checkpoint" -> `Reply (checkpoint_now t)
+    | other -> `Reply (Error (Printf.sprintf "unknown meta command %S" other))
+  else `Reply (exec_script t session trimmed)
+
+(* A client that vanishes mid-conversation — closed socket, reset
+   connection, broken pipe on our response — is a per-connection event:
+   roll back its open transaction, count it, close the descriptor.
+   SIGPIPE is ignored process-wide (see [serve]) so the failure arrives
+   as EPIPE from write, never as a fatal signal. *)
+let connection_dead = function
+  | End_of_file -> true
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) -> true
+  | Sys_error _ -> true
+  | _ -> false
+
+let handle_connection t fd =
+  let session = open_session t in
+  let ic = Unix.in_channel_of_descr fd in
+  let clean = ref false in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | line -> (
+         match handle_request t session line with
+         | `Quit ->
+           Protocol.write_response fd ~ok:true "bye";
+           clean := true
+         | `Reply (Ok body) ->
+           Protocol.write_response fd ~ok:true body;
+           loop ()
+         | `Reply (Error msg) ->
+           t.stats.sv_errors <- t.stats.sv_errors + 1;
+           Protocol.write_response fd ~ok:false msg;
+           loop ())
+       | exception e when connection_dead e -> ()
+     in
+     loop ()
+   with _ -> ());
+  if not !clean then t.stats.sv_disconnects <- t.stats.sv_disconnects + 1;
+  close_session t session;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+type listener = {
+  l_server : t;
+  l_fd : Unix.file_descr;
+  l_port : int;
+  mutable l_thread : Thread.t;
+  mutable l_conns : (Unix.file_descr * Thread.t) list;
+  l_conns_lock : Mutex.t;
+  mutable l_stopping : bool;
+}
+
+let port l = l.l_port
+
+let accept_loop l =
+  let rec loop () =
+    match Unix.accept l.l_fd with
+    | fd, _addr ->
+      (* register under the lock BEFORE the thread can finish, and let
+         the thread deregister itself, so the list tracks live
+         connections only (not the total ever accepted) *)
+      Mutex.lock l.l_conns_lock;
+      let th =
+        Thread.create
+          (fun () ->
+            handle_connection l.l_server fd;
+            let me = Thread.id (Thread.self ()) in
+            Mutex.lock l.l_conns_lock;
+            l.l_conns <-
+              List.filter (fun (_, t) -> Thread.id t <> me) l.l_conns;
+            Mutex.unlock l.l_conns_lock)
+          ()
+      in
+      l.l_conns <- (fd, th) :: l.l_conns;
+      Mutex.unlock l.l_conns_lock;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      () (* the listening socket was closed: shutting down *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ()
+
+(* Ignore SIGPIPE for the whole process: a client that disconnects
+   before reading its response must surface as EPIPE on our write (a
+   per-connection error), not kill the server.  Idempotent. *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let start ?(host = "127.0.0.1") ?(port = 0) t =
+  ignore_sigpipe ();
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let l =
+    {
+      l_server = t;
+      l_fd = fd;
+      l_port = bound_port;
+      l_thread = Thread.self () (* replaced below *);
+      l_conns = [];
+      l_conns_lock = Mutex.create ();
+      l_stopping = false;
+    }
+  in
+  l.l_thread <- Thread.create (fun () -> accept_loop l) ();
+  l
+
+let stop l =
+  if not l.l_stopping then begin
+    l.l_stopping <- true;
+    (* closing the descriptor does not wake a thread blocked in accept;
+       shutting the listening socket down does (the accept returns
+       EINVAL), and the close follows once the loop has exited *)
+    (try Unix.shutdown l.l_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Thread.join l.l_thread;
+    (try Unix.close l.l_fd with Unix.Unix_error _ -> ());
+    Mutex.lock l.l_conns_lock;
+    let conns = l.l_conns in
+    l.l_conns <- [];
+    Mutex.unlock l.l_conns_lock;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, th) -> try Thread.join th with _ -> ()) conns
+  end

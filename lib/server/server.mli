@@ -1,0 +1,127 @@
+(** The concurrent-session server: many client sessions over one
+    engine, with snapshot reads and first-committer-wins commits.
+
+    Committed state lives in a primary engine that never runs
+    transactions itself.  Sessions work on {!Core.Engine.fork}s — pointer
+    copies thanks to the persistent storage: reads evaluate against a
+    cached snapshot fork with no locks held, and a transaction runs
+    entirely on its own fork, validated at commit by intersecting its
+    composite [Effect]'s write set with the write sets of concurrently
+    committed transitions (first committer wins; inserts never collide
+    because handles come from a process-global counter).  That
+    write-write validation is SNAPSHOT ISOLATION.  With
+    [config.track_selects] on, the server runs SERIALIZABLE: each
+    commit additionally claims, at table granularity, the base tables
+    its statements could have read — from the statement ASTs, closed
+    over the rule catalog so reads inside rule conditions and actions
+    are claimed too — and conflicts with any concurrent transition
+    that wrote a claimed table.  A winning transaction is made durable
+    — directly, or through a group-commit round that batches
+    concurrent commits into one WAL record and one fsync — and then
+    applied to the primary under the next version, strictly in claim
+    order. *)
+
+open Core
+
+type mode =
+  | Memory  (** no durability; for tests and pure-concurrency runs *)
+  | Wal_sync  (** one WAL record + fsync per commit *)
+  | Wal_nosync  (** WAL records without fsync *)
+  | Wal_group  (** concurrent commits share one WAL record + fsync *)
+
+val mode_name : mode -> string
+
+type stats = {
+  mutable sv_connections : int;
+  mutable sv_requests : int;
+  mutable sv_commits : int;  (** published transactions, DDL excluded *)
+  mutable sv_conflicts : int;  (** serialization failures *)
+  mutable sv_errors : int;  (** requests answered with [err] *)
+  mutable sv_disconnects : int;  (** sessions that died mid-conversation *)
+  mutable sv_checkpoint_failures : int;
+}
+
+type t
+
+val create :
+  ?config:Engine.config -> ?checkpoint_interval:int -> ?data_dir:string ->
+  mode -> t
+(** [data_dir] is required for the WAL modes (the directory is created
+    and recovered as in {!Durability.Durable.open_dir}) and ignored for
+    [Memory].  [config.track_selects] selects the isolation level:
+    snapshot isolation when off (the default), serializable when on. *)
+
+val system : t -> System.t
+(** The primary system — the committed state.  Callers must not run
+    transactions on it; use sessions. *)
+
+val version : t -> int
+(** The committed version: the number of published transitions. *)
+
+val stats : t -> stats
+val group_stats : t -> Durability.Group_commit.stats option
+
+val group_pending : t -> int option
+(** Commits queued for the next group round ([None] outside
+    [Wal_group]) — test synchronization for paused rounds. *)
+
+val set_group_paused : t -> bool -> unit
+(** Hold the group-commit leader before it collects a round — lets
+    tests deterministically build batches bigger than one.  No effect
+    outside [Wal_group] mode. *)
+
+val close : t -> unit
+(** Close the durable store (WAL modes).  Stop any listener first. *)
+
+(** {1 Sessions}
+
+    The embedded face of the server: what the socket front-end drives,
+    exposed directly so tests and benchmarks can run sessions in
+    process (each from its own thread). *)
+
+type session
+
+val open_session : t -> session
+val close_session : t -> session -> unit
+(** Rolls back the session's open transaction, if any. *)
+
+val exec_stmt : t -> session -> Ast.statement -> System.exec_result
+(** Execute one statement for this session: [begin] forks a
+    transaction, statements inside it run on the fork, [commit]
+    validates and publishes (the result is rewritten to
+    ["committed at version N"] so clients can order commits), reads
+    outside a transaction hit the session's snapshot, DML outside a
+    transaction autocommits through the same fork-validate-publish
+    path, and DDL — rejected inside server transactions — executes on
+    the primary and conflicts with every concurrent transaction. *)
+
+val exec_script : t -> session -> string -> (string, string) result
+(** Parse and run a [';']-separated script, statement by statement;
+    rendered results joined by newlines, or the first error (statements
+    before it keep their effects, as in the embedded REPL). *)
+
+val render_stats : t -> string
+
+val checkpoint_now : t -> (string, string) result
+(** Checkpoint if no commit is in flight ([Error] asks to retry). *)
+
+(** {1 The socket front-end}
+
+    Line protocol (see {!Protocol}): one request line in — a SQL script
+    or a ['\']-meta command ([\q], [\stats], [\version],
+    [\checkpoint]) — one framed [ok]/[err] response out.  SIGPIPE is
+    ignored process-wide at {!start}, so a client that dies
+    mid-conversation surfaces as [EPIPE]/[ECONNRESET] on its own
+    connection: the handler rolls back the session's open transaction,
+    counts a disconnect, and closes — other sessions never notice. *)
+
+type listener
+
+val start : ?host:string -> ?port:int -> t -> listener
+(** Bind and listen ([port 0] — the default — picks an ephemeral port),
+    accepting each connection onto its own thread. *)
+
+val port : listener -> int
+val stop : listener -> unit
+(** Close the listening socket, shut down live connections, join all
+    threads. *)

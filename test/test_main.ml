@@ -33,4 +33,5 @@ let () =
       ("config-matrix", Test_config_matrix.suite);
       ("workload", Test_workload.suite);
       ("workload-faults", Test_workload_faults.suite);
+      ("server", Test_server.suite);
     ]

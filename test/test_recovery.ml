@@ -125,6 +125,10 @@ let pp_record ppf (r : Wal.record) =
     Fmt.pf ppf "#%d txn ctr=%d ops=[%a]" r.Wal.seq handle_ctr
       (Fmt.list ~sep:Fmt.comma Wal.pp_dml)
       ops
+  | Wal.Batch { handle_ctr; txns } ->
+    Fmt.pf ppf "#%d batch ctr=%d txns=[%a]" r.Wal.seq handle_ctr
+      (Fmt.list ~sep:Fmt.semi (Fmt.list ~sep:Fmt.comma Wal.pp_dml))
+      txns
 
 let record_t = Alcotest.testable pp_record ( = )
 
@@ -810,7 +814,7 @@ let test_kill_and_truncation () =
                     (List.filter
                        (fun r ->
                          match r.Wal.payload with
-                         | Wal.Txn _ -> true
+                         | Wal.Txn _ | Wal.Batch _ -> true
                          | Wal.Ddl _ -> false)
                        scan.Wal.records)
                 in
@@ -837,7 +841,7 @@ let test_kill_and_truncation () =
                  (fun r ->
                    match r.Wal.payload with
                    | Wal.Ddl _ -> true
-                   | Wal.Txn _ -> false)
+                   | Wal.Txn _ | Wal.Batch _ -> false)
                  full.Wal.records)
           in
           Alcotest.(check int) "the workload itself produced no DDL"

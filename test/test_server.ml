@@ -1,0 +1,846 @@
+(* The concurrent-session server: sessions, snapshot reads,
+   first-committer-wins validation, group commit, and the socket
+   front-end.
+
+   Four families:
+   - unit tests for the signal-safe write helper (EINTR storms) and the
+     group-commit leader/follower protocol (batching, collective
+     failure);
+   - session semantics over an in-memory server: snapshot isolation,
+     conflict detection, rules on session transactions, DDL fencing;
+   - durability: batches as single WAL records, fsync/append failures
+     failing every member with exact snapshot restore, and recovery;
+   - the socket layer: dead clients, and the two concurrency harnesses
+     (concurrent sessions ≡ serial replay; SIGKILL under group commit
+     keeps every batch all-or-none). *)
+
+open Core
+module Server = Sopr_server.Server
+module Client = Sopr_server.Client
+module Fileio = Relational.Fileio
+module Wal = Relational.Wal
+module Fault = Relational.Fault
+module Durable = Durability.Durable
+module Recovery = Durability.Recovery
+module Group_commit = Durability.Group_commit
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories (same contract as the recovery harness)         *)
+
+let scratch_root = Filename.get_temp_dir_name ()
+
+let rec mkdir_p path =
+  if not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let dir_counter = ref 0
+
+let in_dir label f =
+  incr dir_counter;
+  let d =
+    Filename.concat scratch_root
+      (Printf.sprintf "sopr-server-%d-%03d-%s" (Unix.getpid ()) !dir_counter
+         label)
+  in
+  rm_rf d;
+  mkdir_p d;
+  match f d with
+  | v ->
+    rm_rf d;
+    v
+  | exception e ->
+    Printf.eprintf "server harness: keeping failing data directory %s\n%!" d;
+    raise e
+
+(* Poll for an asynchronous condition (thread scheduling is not ours to
+   command); fails the test after ~5s. *)
+let eventually ?(timeout = 5.0) what cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    if cond () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.002;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Session conveniences                                                 *)
+
+let sx srv sess sql =
+  match Server.exec_script srv sess sql with
+  | Ok body -> body
+  | Error e -> Alcotest.failf "unexpected error for %S: %s" sql e
+
+let sx_err srv sess sql =
+  match Server.exec_script srv sess sql with
+  | Ok body -> Alcotest.failf "expected an error for %S, got: %s" sql body
+  | Error e -> e
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec probe i = i + m <= n && (String.sub s i m = sub || probe (i + 1)) in
+  probe 0
+
+(* Value-only canonical state: sorted row renderings per table, so it
+   is comparable across systems whose handle orders differ (concurrent
+   sessions interleave handle allocation; a serial replay does not). *)
+let value_digest sys tables =
+  String.concat "\n"
+    (List.map
+       (fun tbl ->
+         let _cols, rows = System.query sys ("select * from " ^ tbl) in
+         let rendered =
+           List.sort compare
+             (List.map
+                (fun row ->
+                  String.concat "|"
+                    (Array.to_list (Array.map Value.to_string row)))
+                rows)
+         in
+         tbl ^ ":" ^ String.concat ";" rendered)
+       tables)
+
+(* ------------------------------------------------------------------ *)
+(* write_fully under an EINTR storm (the signal-safety regression)     *)
+
+(* A pipe with a deliberately slow reader keeps the writer blocked in
+   [write]; an interval timer then delivers SIGALRM every 2ms, so the
+   blocked syscalls keep returning EINTR (OCaml installs handlers
+   without SA_RESTART) and partial writes abound (the payload is far
+   larger than the pipe buffer).  [write_fully] must deliver every byte
+   anyway.  Before the EINTR retry existed, this test dies with
+   [Unix_error (EINTR, "write", _)] out of the durability path's old
+   bare [Unix.write] loop. *)
+let test_write_fully_eintr () =
+  let r, w = Unix.pipe () in
+  let total = 4 * 1024 * 1024 in
+  let payload = String.init total (fun i -> Char.chr ((i * 131) land 0xff)) in
+  let received = Buffer.create total in
+  let reader =
+    Thread.create
+      (fun () ->
+        let buf = Bytes.create 8192 in
+        let rec loop () =
+          Thread.delay 0.0002;
+          match Unix.read r buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes received buf 0 n;
+            loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        in
+        loop ())
+      ()
+  in
+  let ticks = ref 0 in
+  let old_alrm =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr ticks))
+  in
+  let set_timer v =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = v; it_value = v })
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      set_timer 0.;
+      ignore (Sys.signal Sys.sigalrm old_alrm);
+      (try Unix.close w with Unix.Unix_error _ -> ());
+      (try Thread.join reader with _ -> ());
+      try Unix.close r with Unix.Unix_error _ -> ())
+    (fun () ->
+      set_timer 0.002;
+      Fileio.write_fully w payload;
+      set_timer 0.;
+      Unix.close w;
+      Thread.join reader);
+  Alcotest.(check int) "every byte arrived" total (Buffer.length received);
+  Alcotest.(check bool) "bytes intact" true (Buffer.contents received = payload);
+  Alcotest.(check bool) "the signal storm actually fired" true (!ticks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Group commit: leader/follower protocol                              *)
+
+let gc_ops i = [ Wal.L_delete { table = "t"; id = i } ]
+
+let test_group_batching () =
+  let flushed = ref [] in
+  let flock = Mutex.create () in
+  let g =
+    Group_commit.create ~flush:(fun txns ->
+        Mutex.lock flock;
+        flushed := txns :: !flushed;
+        Mutex.unlock flock)
+  in
+  Group_commit.set_paused g true;
+  let n = 6 in
+  let threads =
+    List.init n (fun i -> Thread.create (fun () -> Group_commit.submit g (gc_ops i)) ())
+  in
+  eventually "all submitters queued" (fun () -> Group_commit.pending g = n);
+  Group_commit.set_paused g false;
+  List.iter Thread.join threads;
+  let st = Group_commit.stats g in
+  Alcotest.(check int) "one flush round" 1 st.Group_commit.gc_batches;
+  Alcotest.(check int) "six transactions carried" n st.Group_commit.gc_txns;
+  Alcotest.(check int) "batch size recorded" n st.Group_commit.gc_max_batch;
+  let ids =
+    List.concat_map
+      (List.filter_map (function
+        | [ Wal.L_delete { id; _ } ] -> Some id
+        | _ -> None))
+      !flushed
+  in
+  Alcotest.(check (list int))
+    "every transaction flushed exactly once, in queue order"
+    (List.init n Fun.id) (List.sort compare ids)
+
+let test_group_failure_collective () =
+  let g = Group_commit.create ~flush:(fun _ -> failwith "disk on fire") in
+  Group_commit.set_paused g true;
+  let n = 3 in
+  let failures = Array.make n "" in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            match Group_commit.submit g (gc_ops i) with
+            | () -> ()
+            | exception Failure msg -> failures.(i) <- msg)
+          ())
+  in
+  eventually "all submitters queued" (fun () -> Group_commit.pending g = n);
+  Group_commit.set_paused g false;
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i msg ->
+      Alcotest.(check string)
+        (Printf.sprintf "submitter %d got the flush failure" i)
+        "disk on fire" msg)
+    failures;
+  Alcotest.(check int) "one failed round" 1
+    (Group_commit.stats g).Group_commit.gc_batches
+
+(* ------------------------------------------------------------------ *)
+(* Session semantics (in-memory server)                                *)
+
+let test_sessions_basics () =
+  let srv = Server.create Server.Memory in
+  let a = Server.open_session srv in
+  ignore (sx srv a "create table t (a int, b int)");
+  Alcotest.(check int) "DDL bumps the version" 1 (Server.version srv);
+  ignore (sx srv a "insert into t values (1, 10)");
+  Alcotest.(check int) "autocommit publishes" 2 (Server.version srv);
+  Alcotest.(check bool) "snapshot read sees it" true
+    (contains (sx srv a "select * from t") "(1 row)");
+  let body = sx srv a "begin; insert into t values (2, 20); commit" in
+  Alcotest.(check bool) "commit reports its version" true
+    (contains body "committed at version 3");
+  Alcotest.(check bool) "both rows visible" true
+    (contains (sx srv a "select * from t") "(2 rows)");
+  ignore (sx srv a "begin; insert into t values (3, 30); rollback");
+  Alcotest.(check int) "rollback publishes nothing" 3 (Server.version srv);
+  Alcotest.(check bool) "rolled-back row absent" true
+    (contains (sx srv a "select * from t") "(2 rows)");
+  Alcotest.(check bool) "commit without a transaction is an error" true
+    (contains (sx_err srv a "commit") "no open transaction");
+  Alcotest.(check int) "two write transactions committed" 2
+    (Server.stats srv).Server.sv_commits;
+  Server.close_session srv a
+
+let test_snapshot_isolation () =
+  let srv = Server.create Server.Memory in
+  let a = Server.open_session srv in
+  let b = Server.open_session srv in
+  ignore (sx srv a "create table t (a int); insert into t values (1)");
+  Alcotest.(check bool) "b sees the seed" true
+    (contains (sx srv b "select * from t") "(1 row)");
+  ignore (sx srv a "begin; insert into t values (2)");
+  Alcotest.(check bool) "b's snapshot ignores a's open transaction" true
+    (contains (sx srv b "select * from t") "(1 row)");
+  Alcotest.(check bool) "a's transaction sees its own insert" true
+    (contains (sx srv a "select * from t") "(2 rows)");
+  ignore (sx srv a "commit");
+  Alcotest.(check bool) "b's snapshot refreshes after the commit" true
+    (contains (sx srv b "select * from t") "(2 rows)");
+  Server.close_session srv a;
+  Server.close_session srv b
+
+let test_first_committer_wins () =
+  let srv = Server.create Server.Memory in
+  let a = Server.open_session srv in
+  let b = Server.open_session srv in
+  ignore
+    (sx srv a
+       "create table acc (id int, bal int); insert into acc values (1, 100); \
+        insert into acc values (2, 200)");
+  (* write-write conflict on the same tuple: first committer wins *)
+  ignore (sx srv a "begin; update acc set bal = 5 where id = 1");
+  ignore (sx srv b "begin; update acc set bal = 7 where id = 1");
+  ignore (sx srv a "commit");
+  let msg = sx_err srv b "commit" in
+  Alcotest.(check bool) "loser gets a serialization failure" true
+    (contains msg "serialization failure");
+  Alcotest.(check int) "conflict counted" 1 (Server.stats srv).Server.sv_conflicts;
+  Alcotest.(check bool) "the winner's value stands" true
+    (contains (sx srv b "select bal from acc where id = 1") "5");
+  (* disjoint tuples: both commit *)
+  ignore (sx srv a "begin; update acc set bal = 11 where id = 1");
+  ignore (sx srv b "begin; update acc set bal = 22 where id = 2");
+  ignore (sx srv a "commit");
+  ignore (sx srv b "commit");
+  Alcotest.(check bool) "disjoint writers both committed" true
+    (contains (sx srv a "select * from acc where bal = 22") "(1 row)");
+  (* inserts allocate fresh handles and can never collide *)
+  ignore (sx srv a "begin; insert into acc values (3, 300)");
+  ignore (sx srv b "begin; insert into acc values (4, 400)");
+  ignore (sx srv a "commit");
+  ignore (sx srv b "commit");
+  Alcotest.(check bool) "concurrent inserters both committed" true
+    (contains (sx srv a "select * from acc") "(4 rows)");
+  Server.close_session srv a;
+  Server.close_session srv b
+
+(* The serializable escalation.  A rule's scalar-subquery read of a
+   table a concurrent transaction UPDATED is invisible to handle-level
+   validation: the read leaves no trace in the effect, and the updated
+   row is not in the reader's write set.  Under plain snapshot
+   isolation the commit below goes through against a stale bound
+   (write skew); with [track_selects] the server claims the tables any
+   rule the transaction could have woken reads, and must retry. *)
+let skew_setup =
+  "create table bounds (lo int); insert into bounds values (10); create \
+   table staff (sid int, sal int); create rule clamp when inserted into \
+   staff then update staff set sal = (select lo from bounds) where sal < \
+   (select lo from bounds)"
+
+let test_serializable_rule_reads () =
+  (* default config: snapshot isolation — the anomaly commits *)
+  let srv = Server.create Server.Memory in
+  let a = Server.open_session srv in
+  let b = Server.open_session srv in
+  ignore (sx srv a skew_setup);
+  ignore (sx srv b "begin; insert into staff values (1, 0)");
+  ignore (sx srv a "update bounds set lo = 25");
+  ignore (sx srv b "commit");
+  Alcotest.(check bool) "SI: the clamp used the stale bound (write skew)"
+    true
+    (contains (sx srv a "select sal from staff") "10");
+  Server.close_session srv a;
+  Server.close_session srv b;
+  (* track_selects: serializable — the stale rule read conflicts *)
+  let config = { Engine.default_config with Engine.track_selects = true } in
+  let srv = Server.create ~config Server.Memory in
+  let a = Server.open_session srv in
+  let b = Server.open_session srv in
+  ignore (sx srv a skew_setup);
+  ignore (sx srv b "begin; insert into staff values (1, 0)");
+  ignore (sx srv a "update bounds set lo = 25");
+  let msg = sx_err srv b "commit" in
+  Alcotest.(check bool) "serializable: stale rule read is a conflict" true
+    (contains msg "serialization failure");
+  Alcotest.(check int) "conflict counted" 1
+    (Server.stats srv).Server.sv_conflicts;
+  ignore (sx srv b "begin; insert into staff values (1, 0); commit");
+  Alcotest.(check bool) "the retry clamps against the fresh bound" true
+    (contains (sx srv a "select sal from staff") "25");
+  Server.close_session srv a;
+  Server.close_session srv b
+
+let test_rules_on_sessions () =
+  let srv = Server.create Server.Memory in
+  let a = Server.open_session srv in
+  let b = Server.open_session srv in
+  ignore
+    (sx srv a
+       "create table t (a int); create table log (n int); create rule audit \
+        when inserted into t then insert into log (select count(*) from \
+        inserted t)");
+  ignore (sx srv b "begin; insert into t values (1); insert into t values (2); commit");
+  Alcotest.(check bool) "the rule fired once on the session's net effect" true
+    (contains (sx srv a "select * from log") "(1 row)");
+  Alcotest.(check bool) "and saw the whole transition" true
+    (contains (sx srv a "select n from log") "2");
+  Server.close_session srv a;
+  Server.close_session srv b
+
+let test_ddl_fencing () =
+  let srv = Server.create Server.Memory in
+  let a = Server.open_session srv in
+  let b = Server.open_session srv in
+  ignore (sx srv a "create table t (a int); insert into t values (1)");
+  (* DDL is not allowed inside a server transaction: on a fork it would
+     mutate the shared rule index behind the primary's back *)
+  ignore (sx srv a "begin; insert into t values (2)");
+  Alcotest.(check bool) "DDL rejected inside a transaction" true
+    (contains
+       (sx_err srv a "create rule r1 when inserted into t then rollback")
+       "DDL inside a server transaction");
+  ignore (sx srv a "commit");
+  (* DDL conflicts with every concurrently-started transaction *)
+  ignore (sx srv b "begin; update t set a = 9 where a = 1");
+  ignore (sx srv a "create index t_a on t (a)");
+  Alcotest.(check bool) "transaction spanning DDL fails validation" true
+    (contains (sx_err srv b "commit") "serialization failure");
+  Server.close_session srv a;
+  Server.close_session srv b
+
+(* ------------------------------------------------------------------ *)
+(* Durable group commit                                                *)
+
+(* Run [BEGIN; sql; COMMIT] on its own session from a thread; store
+   [Ok body] or the exception. *)
+type txn_result = T_ok of string | T_err of string | T_exn of exn
+
+let txn_thread srv sql =
+  Thread.create
+    (fun result ->
+      let sess = Server.open_session srv in
+      (match Server.exec_script srv sess ("begin; " ^ sql ^ "; commit") with
+      | Ok body -> result := T_ok body
+      | Error e -> result := T_err e
+      | exception e -> result := T_exn e);
+      Server.close_session srv sess)
+
+let three_queued srv =
+  (* all three committers are blocked in the paused round: the group
+     queue length is the authoritative signal *)
+  match Server.group_pending srv with Some n -> n = 3 | None -> false
+
+let test_group_commit_one_record () =
+  in_dir "group-batch" @@ fun dir ->
+  let srv = Server.create ~data_dir:dir Server.Wal_group in
+  let a = Server.open_session srv in
+  ignore (sx srv a "create table t (a int, b int)");
+  Server.set_group_paused srv true;
+  let results = Array.init 3 (fun _ -> ref (T_err "not run")) in
+  let threads =
+    List.init 3 (fun i ->
+        txn_thread srv
+          (Printf.sprintf "insert into t values (%d, %d)" i (i * 10))
+          results.(i))
+  in
+  eventually "three commits queued" (fun () -> three_queued srv);
+  Server.set_group_paused srv false;
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match !r with
+      | T_ok body ->
+        Alcotest.(check bool)
+          (Printf.sprintf "writer %d committed" i)
+          true
+          (contains body "committed at version")
+      | T_err e -> Alcotest.failf "writer %d failed: %s" i e
+      | T_exn e -> Alcotest.failf "writer %d raised: %s" i (Printexc.to_string e))
+    results;
+  let st =
+    match Server.group_stats srv with Some s -> s | None -> assert false
+  in
+  Alcotest.(check int) "one flush round" 1 st.Group_commit.gc_batches;
+  Alcotest.(check int) "batch of three" 3 st.Group_commit.gc_max_batch;
+  (* on disk: the whole round is ONE Batch record (one frame, one CRC) *)
+  let scan = Wal.read ~dir ~gen:0 in
+  let batches =
+    List.filter_map
+      (fun r ->
+        match r.Wal.payload with
+        | Wal.Batch { txns; _ } -> Some (List.length txns)
+        | Wal.Txn _ | Wal.Ddl _ -> None)
+      scan.Wal.records
+  in
+  Alcotest.(check (list int)) "one batch record carrying all three" [ 3 ] batches;
+  Server.close srv;
+  (* and it recovers *)
+  let sys, _info = Recovery.restore dir in
+  let _cols, rows = System.query sys "select * from t" in
+  Alcotest.(check int) "all three transactions recovered" 3 (List.length rows)
+
+let test_batch_fsync_failure_fails_all () =
+  in_dir "batch-fsync" @@ fun dir ->
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  let srv = Server.create ~data_dir:dir Server.Wal_group in
+  let a = Server.open_session srv in
+  ignore (sx srv a "create table t (a int); insert into t values (0)");
+  let digest_before = Recovery.fingerprint (Server.system srv) in
+  let version_before = Server.version srv in
+  Fault.enable true;
+  Fault.disarm ();
+  Server.set_group_paused srv true;
+  let results = Array.init 3 (fun _ -> ref (T_err "not run")) in
+  let threads =
+    List.init 3 (fun i ->
+        txn_thread srv
+          (Printf.sprintf "insert into t values (%d)" (100 + i))
+          results.(i))
+  in
+  eventually "three commits queued" (fun () -> three_queued srv);
+  (* the round's single append hits Wal_append then Wal_fsync; arm the
+     second so the batch IS written and fsynced, but the writer is told
+     it failed — the strictest case: every member must abort in memory
+     even though the record is durable *)
+  Fault.arm 2;
+  Server.set_group_paused srv false;
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match !r with
+      | T_exn (Fault.Injected Fault.Wal_fsync) -> ()
+      | T_ok body -> Alcotest.failf "writer %d committed through a failed batch: %s" i body
+      | T_err e -> Alcotest.failf "writer %d got a soft error: %s" i e
+      | T_exn e -> Alcotest.failf "writer %d raised %s" i (Printexc.to_string e))
+    results;
+  Fault.disarm ();
+  Alcotest.(check string) "every member aborted with its exact snapshot restored"
+    digest_before
+    (Recovery.fingerprint (Server.system srv));
+  Alcotest.(check int) "no version published" version_before (Server.version srv);
+  Alcotest.(check int) "no commit counted" 1 (Server.stats srv).Server.sv_commits;
+  Server.close srv;
+  (* the frame reached disk before the injected failure: recovery reads
+     it and resolves in favour of the log, the only defensible reading
+     of a record that is durable *)
+  let sys, _info = Recovery.restore dir in
+  let _cols, rows = System.query sys "select * from t" in
+  Alcotest.(check int) "recovery replays the durable batch" 4 (List.length rows)
+
+let test_batch_append_failure_fails_all () =
+  in_dir "batch-append" @@ fun dir ->
+  Fault.reset ();
+  Fun.protect ~finally:Fault.reset @@ fun () ->
+  let srv = Server.create ~data_dir:dir Server.Wal_group in
+  let a = Server.open_session srv in
+  ignore (sx srv a "create table t (a int); insert into t values (0)");
+  let digest_before = Recovery.fingerprint (Server.system srv) in
+  Fault.enable true;
+  Fault.disarm ();
+  Server.set_group_paused srv true;
+  let results = Array.init 3 (fun _ -> ref (T_err "not run")) in
+  let threads =
+    List.init 3 (fun i ->
+        txn_thread srv
+          (Printf.sprintf "insert into t values (%d)" (200 + i))
+          results.(i))
+  in
+  eventually "three commits queued" (fun () -> three_queued srv);
+  (* fail BEFORE any byte reaches the file: nothing durable, every
+     member aborts, memory and disk agree the batch never happened *)
+  Fault.arm 1;
+  Server.set_group_paused srv false;
+  List.iter Thread.join threads;
+  Array.iter
+    (fun r ->
+      match !r with
+      | T_exn (Fault.Injected Fault.Wal_append) -> ()
+      | other ->
+        Alcotest.failf "expected the injected append failure, got %s"
+          (match other with
+          | T_ok b -> "commit: " ^ b
+          | T_err e -> "error: " ^ e
+          | T_exn e -> Printexc.to_string e))
+    results;
+  Fault.disarm ();
+  Alcotest.(check string) "exact snapshot restore" digest_before
+    (Recovery.fingerprint (Server.system srv));
+  (* the server is fully operational: the claim window drained, so the
+     same transactions retry cleanly *)
+  let b = Server.open_session srv in
+  ignore (sx srv b "begin; insert into t values (201); commit");
+  Alcotest.(check bool) "retry commits" true
+    (contains (sx srv b "select * from t") "(2 rows)");
+  Server.close srv;
+  let sys, _info = Recovery.restore dir in
+  let _cols, rows = System.query sys "select * from t" in
+  Alcotest.(check int) "disk agrees: seed plus the retry only" 2
+    (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* The socket layer: dead clients                                      *)
+
+let test_dead_client () =
+  let srv = Server.create Server.Memory in
+  let listener = Server.start ~port:0 srv in
+  Fun.protect ~finally:(fun () -> Server.stop listener) @@ fun () ->
+  let port = Server.port listener in
+  let c1 = Client.connect ~port () in
+  (match Client.request c1 "create table t (a int); insert into t values (1)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "setup failed: %s" e);
+  (* client 2 opens a transaction, updates, and vanishes without a word:
+     its open transaction must be rolled back and counted, with no
+     collateral damage to other sessions *)
+  let c2 = Client.connect ~port () in
+  (match Client.request c2 "begin; update t set a = 99 where a = 1" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "begin/update failed: %s" e);
+  Client.close c2;
+  (* client 3 fires a request and slams the door without reading the
+     response, so the server's answer meets a dead socket (EPIPE or
+     ECONNRESET — and never SIGPIPE, which is ignored) *)
+  let fd3 = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd3 (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Sopr_server.Protocol.send_line fd3 "select * from t";
+  Unix.close fd3;
+  eventually "both disconnects observed" (fun () ->
+      (Server.stats srv).Server.sv_disconnects >= 2);
+  (* the dead session's transaction is gone: the row is untouched and
+     not write-locked in any sense — a new transaction wins cleanly *)
+  (match Client.request c1 "begin; update t set a = 2 where a = 1; commit" with
+  | Ok body ->
+    Alcotest.(check bool) "post-disconnect commit succeeds" true
+      (contains body "committed at version")
+  | Error e -> Alcotest.failf "post-disconnect commit failed: %s" e);
+  (match Client.request c1 "select a from t" with
+  | Ok body ->
+    Alcotest.(check bool) "dead client's update was rolled back" true
+      (contains body "2" && not (contains body "99"))
+  | Error e -> Alcotest.failf "select failed: %s" e);
+  Client.close c1
+
+(* ------------------------------------------------------------------ *)
+(* Differential: concurrent sessions ≡ serial replay                   *)
+
+let diff_setup =
+  [
+    "create table acct (id int, bal int)";
+    "create table counter (id int, n int)";
+    "create table audit (n int)";
+    "insert into counter values (0, 0)";
+    "create rule tally when updated counter.n then insert into audit (select \
+     n from new updated counter.n)";
+  ]
+
+let diff_tables = [ "acct"; "counter"; "audit" ]
+
+let test_differential_concurrent_vs_serial () =
+  let sessions = 4 and txns_per = 12 in
+  let srv = Server.create Server.Memory in
+  let s0 = Server.open_session srv in
+  List.iter (fun sql -> ignore (sx srv s0 sql)) diff_setup;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun k ->
+          ignore
+            (sx srv s0
+               (Printf.sprintf "insert into acct values (%d, 0)" ((s * 10) + k))))
+        [ 0; 1; 2 ])
+    (List.init sessions Fun.id);
+  (* each thread: bump a private row (usually conflict-free) and RMW the
+     shared counter (the contention point), retrying on serialization
+     failure; record each committed block with its published version *)
+  let committed = ref [] in
+  let clock = Mutex.create () in
+  let record version block =
+    Mutex.lock clock;
+    committed := (version, block) :: !committed;
+    Mutex.unlock clock
+  in
+  let parse_version body =
+    (* "committed at version N" is the last line *)
+    let n = String.length body in
+    let rec last_line i = if i > 0 && body.[i - 1] <> '\n' then last_line (i - 1) else i in
+    let line = String.sub body (last_line n) (n - last_line n) in
+    match String.rindex_opt line ' ' with
+    | Some i ->
+      int_of_string
+        (String.sub line (i + 1) (String.length line - i - 1))
+    | None -> Alcotest.failf "no version in %S" body
+  in
+  let worker s =
+    let sess = Server.open_session srv in
+    for k = 1 to txns_per do
+      let row = (s * 10) + (k mod 3) in
+      let block =
+        Printf.sprintf
+          "update acct set bal = bal + 1 where id = %d; update counter set n \
+           = n + 1 where id = 0"
+          row
+      in
+      let rec attempt tries =
+        if tries > 200 then Alcotest.failf "worker %d starved" s;
+        match
+          Server.exec_script srv sess ("begin; " ^ block ^ "; commit")
+        with
+        | Ok body -> record (parse_version body) block
+        | Error e when contains e "serialization failure" ->
+          Thread.delay (0.0003 *. float_of_int (1 + (tries mod 5)));
+          attempt (tries + 1)
+        | Error e -> Alcotest.failf "worker %d: %s" s e
+      in
+      attempt 0
+    done;
+    Server.close_session srv sess
+  in
+  let threads =
+    List.init sessions (fun s -> Thread.create worker s)
+  in
+  List.iter Thread.join threads;
+  let total = sessions * txns_per in
+  Alcotest.(check int) "every transaction eventually committed" total
+    (List.length !committed);
+  (* the shared counter proves no lost updates: snapshot reads plus
+     first-committer-wins write validation serialize the RMW *)
+  let final_n =
+    match System.query_value (Server.system srv) "select n from counter" with
+    | Value.Int n -> n
+    | v -> Alcotest.failf "counter: %s" (Value.to_string v)
+  in
+  Alcotest.(check int) "no lost update on the contended counter" total final_n;
+  (* serial replay in commit order on an embedded engine must reach the
+     identical value state — the committed history IS serializable in
+     version order *)
+  let serial = System.create () in
+  List.iter (fun sql -> ignore (System.exec serial sql)) diff_setup;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun k ->
+          ignore
+            (System.exec serial
+               (Printf.sprintf "insert into acct values (%d, 0)" ((s * 10) + k))))
+        [ 0; 1; 2 ])
+    (List.init sessions Fun.id);
+  let in_order =
+    List.sort (fun (v1, _) (v2, _) -> compare v1 v2) !committed
+  in
+  List.iter
+    (fun (_v, block) -> ignore (System.exec serial ("begin; " ^ block ^ "; commit")))
+    in_order;
+  Alcotest.(check string) "concurrent history ≡ serial replay (value state)"
+    (value_digest serial diff_tables)
+    (value_digest (Server.system srv) diff_tables);
+  Server.close_session srv s0
+
+(* ------------------------------------------------------------------ *)
+(* Crash: SIGKILL under group commit — per-batch all-or-none           *)
+
+(* A forked child serves concurrent writers in group-commit mode and is
+   SIGKILLed mid-stream; each transaction inserts K rows under one tag.
+   Whatever prefix survived, recovery must show every tag with 0 or K
+   rows: a batch is one frame under one CRC, so no member transaction —
+   and no prefix of one — can surface alone. *)
+let test_sigkill_group_commit () =
+  in_dir "crash-group" @@ fun root ->
+  let dir = Filename.concat root "data" in
+  let k_rows = 3 and writers = 4 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let srv = Server.create ~data_dir:dir Server.Wal_group in
+       let s = Server.open_session srv in
+       ignore (sx srv s "create table m (tag int, seq int)");
+       let worker w =
+         let sess = Server.open_session srv in
+         let i = ref 0 in
+         while true do
+           incr i;
+           let tag = (w * 10000) + !i in
+           let block =
+             String.concat "; "
+               (List.init k_rows (fun j ->
+                    Printf.sprintf "insert into m values (%d, %d)" tag j))
+           in
+           ignore (Server.exec_script srv sess ("begin; " ^ block ^ "; commit"))
+         done;
+         ignore sess
+       in
+       let _threads = List.init writers (fun w -> Thread.create worker w) in
+       (* die mid-activity once enough commits have published, with a
+          hard cap so a wedged child cannot hang the suite *)
+       let tries = ref 0 in
+       while Server.version srv < 15 && !tries < 4000 do
+         incr tries;
+         Thread.delay 0.005
+       done
+     with _ -> ());
+    Unix.kill (Unix.getpid ()) Sys.sigkill;
+    assert false
+  | pid ->
+    let _, status = Unix.waitpid [] pid in
+    (match status with
+    | Unix.WSIGNALED s when s = Sys.sigkill -> ()
+    | _ -> Alcotest.fail "child did not die by SIGKILL");
+    let scan = Wal.read ~dir ~gen:0 in
+    Alcotest.(check bool) "no torn tail" false scan.Wal.torn;
+    let batched_txns =
+      List.fold_left
+        (fun acc r ->
+          match r.Wal.payload with
+          | Wal.Batch { txns; _ } -> acc + List.length txns
+          | Wal.Txn _ | Wal.Ddl _ -> acc)
+        0 scan.Wal.records
+    in
+    Alcotest.(check bool) "the child committed through batches" true
+      (batched_txns > 0);
+    let sys, _info = Recovery.restore dir in
+    let _cols, rows = System.query sys "select tag from m" in
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun row ->
+        match row with
+        | [| Value.Int tag |] ->
+          Hashtbl.replace counts tag
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts tag))
+        | _ -> Alcotest.fail "unexpected row shape")
+      rows;
+    Alcotest.(check bool) "some transactions survived" true
+      (Hashtbl.length counts > 0);
+    Hashtbl.iter
+      (fun tag n ->
+        if n <> k_rows then
+          Alcotest.failf
+            "transaction %d is torn: %d of %d rows survived the crash" tag n
+            k_rows)
+      counts
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "write_fully survives an EINTR storm" `Slow
+      test_write_fully_eintr;
+    Alcotest.test_case "group commit batches a paused round" `Quick
+      test_group_batching;
+    Alcotest.test_case "a failed flush fails every member" `Quick
+      test_group_failure_collective;
+    Alcotest.test_case "sessions: versions, autocommit, transactions" `Quick
+      test_sessions_basics;
+    Alcotest.test_case "snapshot isolation across sessions" `Quick
+      test_snapshot_isolation;
+    Alcotest.test_case "first committer wins" `Quick test_first_committer_wins;
+    Alcotest.test_case "serializable mode catches stale rule reads" `Quick
+      test_serializable_rule_reads;
+    Alcotest.test_case "rules fire on session transactions" `Quick
+      test_rules_on_sessions;
+    Alcotest.test_case "DDL fencing" `Quick test_ddl_fencing;
+    Alcotest.test_case "a group round is one WAL record" `Quick
+      test_group_commit_one_record;
+    Alcotest.test_case "batch fsync failure fails every member" `Quick
+      test_batch_fsync_failure_fails_all;
+    Alcotest.test_case "batch append failure leaves nothing durable" `Quick
+      test_batch_append_failure_fails_all;
+    Alcotest.test_case "dead clients roll back and disconnect" `Quick
+      test_dead_client;
+    Alcotest.test_case "concurrent sessions equal serial replay" `Slow
+      test_differential_concurrent_vs_serial;
+    Alcotest.test_case "SIGKILL under group commit is all-or-none" `Slow
+      test_sigkill_group_commit;
+  ]
