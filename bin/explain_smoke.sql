@@ -1,7 +1,7 @@
 create table emp (name string, emp_no int primary key, salary float);
 create table audit_log (name string, salary float);
 create index emp_no_ix on emp (emp_no);
-create index emp_salary_ix on emp (salary);
+create index emp_salary_ix on emp (salary) using ordered;
 insert into emp values ('ada', 1, 100.0), ('bob', 2, 200.0), ('cyd', 3, 300.0);
 explain select * from emp where emp_no = 2;
 explain select name from emp where salary = 200.0;
@@ -13,6 +13,15 @@ when deleted from emp
 if exists (select * from deleted emp where salary > 100.0)
 then insert into audit_log select name, salary from deleted emp;;
 explain rule audit;
+.stats emp
+.stats audit_log
+.stats missing
+explain select name from emp where salary between 100.0 and 250.0;
+explain select name from emp where salary > 150.0;
+explain select * from emp e, audit_log a where e.name = a.name;
+insert into audit_log values ('ada', 1.0), ('bob', 2.0);
+select e.name, a.salary from emp e, audit_log a where e.name = a.name order by e.name;
+.stats
 .trace on
 delete from emp where emp_no = 3;
 .trace

@@ -60,12 +60,37 @@ let print_stats system =
      aborts:                %d\n\
      seq scans:             %d\n\
      index probes:          %d\n\
+     range probes:          %d\n\
+     hash join builds:      %d\n\
+     hash join probes:      %d\n\
      candidates considered: %d\n\
      rules skipped:         %d\n"
     st.Engine.transactions st.Engine.transitions st.Engine.rule_firings
     st.Engine.conditions_evaluated st.Engine.rollbacks st.Engine.aborts
-    st.Engine.seq_scans st.Engine.index_probes st.Engine.candidates_considered
-    st.Engine.rules_skipped
+    st.Engine.seq_scans st.Engine.index_probes st.Engine.range_probes
+    st.Engine.hash_join_builds st.Engine.hash_join_probes
+    st.Engine.candidates_considered st.Engine.rules_skipped
+
+(* The planner's view of one table: row count and, per index, the
+   incrementally-maintained distinct-key count that drives the cost
+   model's selectivity estimates. *)
+let print_table_stats system tbl =
+  let db = Engine.database (System.engine system) in
+  if not (Database.has_table db tbl) then
+    Printf.printf "no table %s\n" tbl
+  else begin
+    let t = Database.table db tbl in
+    Printf.printf "table %s: %d rows\n" tbl (Table.cardinality t);
+    match Table.index_list t with
+    | [] -> print_endline "  (no indexes)"
+    | ixs ->
+      List.iter
+        (fun ix ->
+          Printf.printf "  %s index %s on (%s): %d distinct keys\n"
+            (Index.kind_name (Index.kind ix))
+            (Index.name ix) (Index.column ix) (Index.cardinality ix))
+        ixs
+  end
 
 let print_analysis system =
   Format.printf "%a@." Analysis.pp_report (System.analyze system)
@@ -117,6 +142,7 @@ let help_text =
    \\q               quit\n\
    \\analyze         static rule analysis (may-trigger graph, loops, conflicts)\n\
    \\stats           engine statistics\n\
+   \\stats TABLE     planner statistics for TABLE (rows, index cardinalities)\n\
    \\trace           print the last transaction's rule-execution trace\n\
    \\trace on        enable tracing (\\trace off disables)\n\
    \\trace dump F    write the trace as JSON Lines to file F ('-' = stdout)\n\
@@ -157,6 +183,7 @@ let interactive ?durable system =
         | [ "q" ] | [ "quit" ] -> raise Exit
         | [ "analyze" ] -> print_analysis system
         | [ "stats" ] -> print_stats system
+        | [ "stats"; tbl ] -> print_table_stats system tbl
         | [ "trace" ] -> print_trace system
         | [ "trace"; "on" ] ->
           Engine.set_tracing (System.engine system) true;

@@ -188,10 +188,12 @@ module System = struct
     | Ast.Stmt_drop_assertion name ->
       Engine.drop_rule eng (Constraints.assertion_rule_name name);
       Msg (Printf.sprintf "assertion %s dropped" name)
-    | Ast.Stmt_create_index { ix_name; ix_table; ix_column } ->
-      Engine.create_index eng ~ix_name ~table:ix_table ~column:ix_column;
+    | Ast.Stmt_create_index { ix_name; ix_table; ix_column; ix_kind } ->
+      Engine.create_index eng ~ix_name ~table:ix_table ~column:ix_column
+        ~kind:ix_kind;
       Msg
-        (Printf.sprintf "index %s created on %s (%s)" ix_name ix_table ix_column)
+        (Printf.sprintf "%s index %s created on %s (%s)"
+           (Index.kind_name ix_kind) ix_name ix_table ix_column)
     | Ast.Stmt_drop_index name ->
       Engine.drop_index eng name;
       Msg (Printf.sprintf "index %s dropped" name)

@@ -79,14 +79,14 @@ let find_index_owner db ix_name =
       | None -> if Table.has_index tbl ix_name then Some tbl else None)
     db.tables None
 
-let create_index db ~ix_name ~table:tbl_name ~column =
+let create_index db ~ix_name ~table:tbl_name ~column ~kind =
   (match find_index_owner db ix_name with
   | Some owner ->
     Errors.semantic "index %S already exists (on table %S)" ix_name
       (Table.name owner)
   | None -> ());
   let tbl = table db tbl_name in
-  replace_table db (Table.create_index tbl ~ix_name ~column)
+  replace_table db (Table.create_index tbl ~ix_name ~column ~kind)
 
 let drop_index db ix_name =
   match find_index_owner db ix_name with
@@ -103,6 +103,16 @@ let probe db ~table:tbl_name ~column values =
   match Str_map.find_opt tbl_name db.tables with
   | None -> None
   | Some tbl -> Table.probe tbl ~column values
+
+let range_probe db ~table:tbl_name ~column ~lower ~upper =
+  match Str_map.find_opt tbl_name db.tables with
+  | None -> None
+  | Some tbl -> Table.range_probe tbl ~column ~lower ~upper
+
+let column_stats db ~table:tbl_name ~column =
+  match Str_map.find_opt tbl_name db.tables with
+  | None -> None
+  | Some tbl -> Table.column_stats tbl column
 
 let total_rows db =
   Str_map.fold (fun _ tbl acc -> acc + Table.cardinality tbl) db.tables 0

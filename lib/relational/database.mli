@@ -43,7 +43,8 @@ val get_row : t -> Handle.t -> Row.t
     values: states retained for transition tables and rollback carry
     their own consistent indexes. *)
 
-val create_index : t -> ix_name:string -> table:string -> column:string -> t
+val create_index :
+  t -> ix_name:string -> table:string -> column:string -> kind:Index.kind -> t
 (** Raises [Semantic_error] if the name is taken anywhere in the
     database, [Unknown_table]/[Unknown_column] for bad targets. *)
 
@@ -58,6 +59,22 @@ val probe : t -> table:string -> column:string -> Value.t list
 (** Probe any index over [column] of [table]: [None] when the table or
     a usable index is absent (or a value is type-incompatible), else
     the matching rows in handle (= insertion) order. *)
+
+val range_probe :
+  t ->
+  table:string ->
+  column:string ->
+  lower:Index.bound option ->
+  upper:Index.bound option ->
+  (Handle.t * Row.t) list option
+(** Probe an ordered index over [column] of [table] for rows in the key
+    range: [None] when the table or an ordered index is absent (or a
+    bound is type-incompatible), else the matching rows in handle
+    order. *)
+
+val column_stats : t -> table:string -> column:string -> (int * bool) option
+(** [Some (distinct, ordered)] when an index covers the column — see
+    {!Table.column_stats}. *)
 
 val total_rows : t -> int
 val pp : Format.formatter -> t -> unit

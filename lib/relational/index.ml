@@ -1,5 +1,9 @@
-(* A secondary hash index: an equality access path from the values of
-   one column to the set of handles of rows holding that value.
+(* A secondary index: an access path from the values of one column to
+   the set of handles of rows holding that value.  Indexes come in two
+   kinds: [`Hash] supports equality probes only; [`Ordered] also
+   supports range probes.  (Both kinds share the balanced-tree
+   representation — the kind records the capability the index was
+   declared with, which is what the planner consults.)
 
    The index is a persistent map, so it lives inside the (persistent)
    table value it indexes: snapshotting a table — and hence a database
@@ -10,12 +14,14 @@
    NULL is never indexed: SQL equality against NULL is never TRUE, so a
    probe for NULL correctly finds nothing, and rows whose indexed
    column is NULL are reachable only by scan (where the predicate
-   evaluates to UNKNOWN and excludes them anyway).
+   evaluates to UNKNOWN and excludes them anyway).  The same holds for
+   ranges: a comparison against NULL is UNKNOWN, so a range probe with
+   a NULL bound finds nothing.
 
-   Keys are compared with [Value.compare_total], whose numeric
-   cross-kind behaviour (Int 1 = Float 1.0) agrees with SQL equality on
-   comparable values — the only values a probe is allowed to use (see
-   [compatible]). *)
+   Keys are compared with [Value.compare_total], whose behaviour on the
+   comparable kinds (numeric cross-kind ordering, byte-wise strings,
+   FALSE < TRUE) agrees with SQL comparison on the values a probe is
+   allowed to use (see [compatible]). *)
 
 module Value_map = Map.Make (struct
   type t = Value.t
@@ -23,27 +29,45 @@ module Value_map = Map.Make (struct
   let compare = Value.compare_total
 end)
 
+type kind = [ `Hash | `Ordered ]
+
 type t = {
   ix_name : string;
   ix_column : string;
   ix_pos : int; (* position of the column in the table schema *)
+  ix_kind : kind;
+  ix_distinct : int; (* distinct non-null keys, kept incrementally *)
   entries : Handle.Set.t Value_map.t;
 }
 
-let create ~name ~column ~pos =
-  { ix_name = name; ix_column = column; ix_pos = pos; entries = Value_map.empty }
+let create ~name ~column ~pos ~kind =
+  {
+    ix_name = name;
+    ix_column = column;
+    ix_pos = pos;
+    ix_kind = kind;
+    ix_distinct = 0;
+    entries = Value_map.empty;
+  }
 
 let name t = t.ix_name
 let column t = t.ix_column
 let pos t = t.ix_pos
+let kind t = t.ix_kind
+let kind_name = function `Hash -> "hash" | `Ordered -> "ordered"
 
 let add t v h =
   if Value.is_null v then t
   else
-    let set =
-      Option.value (Value_map.find_opt v t.entries) ~default:Handle.Set.empty
-    in
-    { t with entries = Value_map.add v (Handle.Set.add h set) t.entries }
+    match Value_map.find_opt v t.entries with
+    | Some set ->
+      { t with entries = Value_map.add v (Handle.Set.add h set) t.entries }
+    | None ->
+      {
+        t with
+        entries = Value_map.add v (Handle.Set.singleton h) t.entries;
+        ix_distinct = t.ix_distinct + 1;
+      }
 
 let remove t v h =
   if Value.is_null v then t
@@ -52,17 +76,72 @@ let remove t v h =
     | None -> t
     | Some set ->
       let set = Handle.Set.remove h set in
-      let entries =
-        if Handle.Set.is_empty set then Value_map.remove v t.entries
-        else Value_map.add v set t.entries
-      in
-      { t with entries }
+      if Handle.Set.is_empty set then
+        {
+          t with
+          entries = Value_map.remove v t.entries;
+          ix_distinct = t.ix_distinct - 1;
+        }
+      else { t with entries = Value_map.add v set t.entries }
 
 let probe t v =
   if Value.is_null v then Handle.Set.empty
   else Option.value (Value_map.find_opt v t.entries) ~default:Handle.Set.empty
 
-let cardinality t = Value_map.cardinal t.entries
+(* A range bound: the key value and whether the bound is inclusive. *)
+type bound = Value.t * bool
+
+let range t ~lower ~upper =
+  let null_bound = function Some (v, _) -> Value.is_null v | None -> false in
+  (* A comparison against NULL is UNKNOWN for every row, so the range
+     selects nothing — mirroring the scan path faithfully. *)
+  if null_bound lower || null_bound upper then Handle.Set.empty
+  else
+    let from_lower =
+      match lower with
+      | None -> Value_map.to_seq t.entries
+      | Some (lv, incl) ->
+        let s = Value_map.to_seq_from lv t.entries in
+        if incl then s
+        else Seq.drop_while (fun (k, _) -> Value.compare_total k lv = 0) s
+    in
+    let below_upper k =
+      match upper with
+      | None -> true
+      | Some (uv, incl) ->
+        let c = Value.compare_total k uv in
+        if incl then c <= 0 else c < 0
+    in
+    Seq.fold_left
+      (fun acc (_, set) -> Handle.Set.union set acc)
+      Handle.Set.empty
+      (Seq.take_while (fun (k, _) -> below_upper k) from_lower)
+
+(* The literal prefix of a LIKE pattern (the characters before the
+   first wildcard), and the smallest string greater than every string
+   with that prefix — together a half-open key range covering every
+   possible match.  The range is a superset of the matches; the caller
+   re-applies the full predicate.  [None] upper means unbounded (the
+   prefix is all 0xff bytes). *)
+let like_prefix pattern =
+  let n = String.length pattern in
+  let rec prefix_len i =
+    if i >= n then i
+    else match pattern.[i] with '%' | '_' -> i | _ -> prefix_len (i + 1)
+  in
+  let len = prefix_len 0 in
+  if len = 0 then None
+  else
+    let prefix = String.sub pattern 0 len in
+    let rec succ_of i =
+      if i < 0 then None
+      else if prefix.[i] = '\xff' then succ_of (i - 1)
+      else
+        Some (String.sub prefix 0 i ^ String.make 1 (Char.chr (Char.code prefix.[i] + 1)))
+    in
+    Some (prefix, succ_of (len - 1))
+
+let cardinality t = t.ix_distinct
 
 (* May [v] be used as a probe key against a column of type [ty]?
    Comparable kinds only: probing silently returns the empty set for
@@ -80,5 +159,5 @@ let compatible ty v =
   | (Value.Int _ | Value.Float _ | Value.Str _ | Value.Bool _), _ -> false
 
 let pp ppf t =
-  Fmt.pf ppf "index %s on (%s) [%d keys]" t.ix_name t.ix_column
-    (cardinality t)
+  Fmt.pf ppf "%s index %s on (%s) [%d keys]" (kind_name t.ix_kind) t.ix_name
+    t.ix_column (cardinality t)

@@ -1,24 +1,32 @@
-(** A secondary hash index: an equality access path from the values of
-    one column to the set of handles of rows holding that value.
+(** A secondary index: an access path from the values of one column to
+    the set of handles of rows holding that value.  [`Hash] indexes
+    answer equality probes; [`Ordered] indexes additionally answer
+    range probes under [Value.compare_total] ordering.
 
     The representation is persistent and lives inside the table value
     it indexes, so snapshotting a table (or a whole database state)
     snapshots its indexes too — probes against retained pre-transition
     states see exactly the rows of those states.
 
-    NULL is never indexed: SQL equality against NULL is never TRUE, so
-    probing for NULL finds nothing and rows with a NULL key are only
-    reachable by scan. *)
+    NULL is never indexed: SQL comparison against NULL is never TRUE,
+    so probing for NULL (or with a NULL range bound) finds nothing and
+    rows with a NULL key are only reachable by scan. *)
 
 type t
 
-val create : name:string -> column:string -> pos:int -> t
+type kind = [ `Hash | `Ordered ]
+
+val create : name:string -> column:string -> pos:int -> kind:kind -> t
 (** An empty index named [name] over the column at schema position
     [pos]. *)
 
 val name : t -> string
 val column : t -> string
 val pos : t -> int
+val kind : t -> kind
+
+val kind_name : kind -> string
+(** ["hash"] or ["ordered"]. *)
 
 val add : t -> Value.t -> Handle.t -> t
 (** Register a row's column value.  Adding NULL is a no-op. *)
@@ -31,8 +39,24 @@ val probe : t -> Value.t -> Handle.Set.t
 (** The handles of rows whose indexed column equals the given value;
     empty for NULL. *)
 
+type bound = Value.t * bool
+(** A range endpoint: the key value and whether it is inclusive. *)
+
+val range : t -> lower:bound option -> upper:bound option -> Handle.Set.t
+(** The handles of rows whose indexed key falls within the bounds
+    (missing bound = unbounded on that side).  A NULL bound selects
+    nothing, as SQL comparison against NULL is never TRUE.  Callers
+    must gate bound values with [compatible], exactly as for [probe]. *)
+
+val like_prefix : string -> (string * string option) option
+(** [like_prefix pat] is the literal prefix of LIKE pattern [pat]
+    (characters before the first ['%'] or ['_']) together with the
+    exclusive upper bound of the key range covering every possible
+    match ([None] = unbounded).  [None] overall when the pattern has no
+    literal prefix, in which case the range would be the whole index. *)
+
 val cardinality : t -> int
-(** Number of distinct (non-null) keys. *)
+(** Number of distinct (non-null) keys, maintained incrementally — O(1). *)
 
 val compatible : Schema.col_type -> Value.t -> bool
 (** May a value be used as a probe key against a column of this type?

@@ -6,7 +6,12 @@
 
    Secondary indexes live inside the table value, so a snapshot carries
    its indexes with it: probing a retained pre-transition state sees
-   exactly the rows of that state, with no separate versioning. *)
+   exactly the rows of that state, with no separate versioning.
+
+   The row count is kept incrementally (as are the per-index distinct
+   key counts, inside each index), so table statistics for the
+   cost-based planner are exact and O(indexes) to read at any
+   snapshot. *)
 
 module Int_map = Map.Make (Int)
 module Str_map = Map.Make (String)
@@ -17,6 +22,7 @@ type t = {
       (* the schema's column names, extracted once at creation; resolvers
          bind every row of a scan under this array, so rebuilding it per
          resolution would allocate O(columns) per access *)
+  nrows : int; (* row count, kept incrementally *)
   rows : (Handle.t * Row.t) Int_map.t;
   indexes : Index.t Str_map.t; (* keyed by index name *)
 }
@@ -25,6 +31,7 @@ let create schema =
   {
     schema;
     col_names = Array.map (fun c -> c.Schema.col_name) schema.Schema.columns;
+    nrows = 0;
     rows = Int_map.empty;
     indexes = Str_map.empty;
   }
@@ -32,8 +39,8 @@ let create schema =
 let schema t = t.schema
 let col_names t = t.col_names
 let name t = t.schema.Schema.table_name
-let cardinality t = Int_map.cardinal t.rows
-let is_empty t = Int_map.is_empty t.rows
+let cardinality t = t.nrows
+let is_empty t = t.nrows = 0
 
 (* Index maintenance: every row mutation keeps every index in sync. *)
 let index_add t handle row =
@@ -49,6 +56,7 @@ let insert t handle row =
   assert (not (Int_map.mem (Handle.id handle) t.rows));
   {
     t with
+    nrows = t.nrows + 1;
     rows = Int_map.add (Handle.id handle) (handle, row) t.rows;
     indexes = index_add t handle row;
   }
@@ -71,6 +79,7 @@ let delete t handle =
   | Some (_, old_row) ->
     {
       t with
+      nrows = t.nrows - 1;
       rows = Int_map.remove (Handle.id handle) t.rows;
       indexes = index_remove t handle old_row;
     }
@@ -108,11 +117,22 @@ let index_on_column t column =
       | None -> if String.equal (Index.column ix) column then Some ix else None)
     t.indexes None
 
-let create_index t ~ix_name ~column =
+let ordered_index_on_column t column =
+  Str_map.fold
+    (fun _ ix found ->
+      match found with
+      | Some _ -> found
+      | None ->
+        if String.equal (Index.column ix) column && Index.kind ix = `Ordered
+        then Some ix
+        else None)
+    t.indexes None
+
+let create_index t ~ix_name ~column ~kind =
   if Str_map.mem ix_name t.indexes then
     Errors.semantic "index %S already exists" ix_name;
   let pos = Schema.column_index t.schema column in
-  let ix = Index.create ~name:ix_name ~column ~pos in
+  let ix = Index.create ~name:ix_name ~column ~pos ~kind in
   let ix = fold (fun h row ix -> Index.add ix row.(pos) h) t ix in
   { t with indexes = Str_map.add ix_name ix t.indexes }
 
@@ -120,6 +140,17 @@ let drop_index t ix_name =
   if not (Str_map.mem ix_name t.indexes) then
     Errors.semantic "unknown index %S" ix_name;
   { t with indexes = Str_map.remove ix_name t.indexes }
+
+(* Materialize a handle set as rows of this state, in handle
+   (= insertion) order — probe results are order-preserving
+   subsequences of the scan. *)
+let realize_handles t handles =
+  List.filter_map
+    (fun h ->
+      Option.map
+        (fun (_, row) -> (h, row))
+        (Int_map.find_opt (Handle.id h) t.rows))
+    (Handle.Set.elements handles)
 
 (* Probe any index over [column] for rows matching one of [values].
    Returns [None] when no such index exists, or when some probe value
@@ -139,12 +170,37 @@ let probe t ~column values =
           (fun acc v -> Handle.Set.union acc (Index.probe ix v))
           Handle.Set.empty values
       in
-      Some
-        (List.filter_map
-           (fun h ->
-             Option.map (fun row -> (h, row))
-               (Option.map snd (Int_map.find_opt (Handle.id h) t.rows)))
-           (Handle.Set.elements handles))
+      Some (realize_handles t handles)
+
+(* Probe an ordered index over [column] for rows whose key falls in the
+   given range.  [None] when no ordered index covers the column or a
+   bound value is type-incompatible (fall back to the scan, which
+   reports type errors faithfully).  NULL bounds select nothing. *)
+let range_probe t ~column ~lower ~upper =
+  match ordered_index_on_column t column with
+  | None -> None
+  | Some ix ->
+    let ty = t.schema.Schema.columns.(Index.pos ix).Schema.col_type in
+    let bound_ok = function
+      | None -> true
+      | Some (v, _) -> Index.compatible ty v
+    in
+    if not (bound_ok lower && bound_ok upper) then None
+    else Some (realize_handles t (Index.range ix ~lower ~upper))
+
+(* {2 Statistics} *)
+
+(* Distinct-key count for an indexed column, plus whether an ordered
+   index (range capability) covers it.  [None] for unindexed columns —
+   the planner treats those as probe-ineligible. *)
+let column_stats t column =
+  match index_on_column t column with
+  | None -> None
+  | Some ix ->
+    let ordered =
+      Index.kind ix = `Ordered || ordered_index_on_column t column <> None
+    in
+    Some (Index.cardinality ix, ordered)
 
 let pp ppf t =
   Fmt.pf ppf "@[<v 2>%a [%d rows]@,%a@]" Schema.pp t.schema (cardinality t)

@@ -51,10 +51,11 @@ val rows : t -> Row.t list
 
 (** {2 Secondary indexes} *)
 
-val create_index : t -> ix_name:string -> column:string -> t
-(** Build a hash index over an existing column, indexing all current
-    rows.  Raises [Semantic_error] if an index of that name already
-    exists on this table, or [Unknown_column] for a bad column. *)
+val create_index : t -> ix_name:string -> column:string -> kind:Index.kind -> t
+(** Build an index of the given kind over an existing column, indexing
+    all current rows.  Raises [Semantic_error] if an index of that name
+    already exists on this table, or [Unknown_column] for a bad
+    column. *)
 
 val drop_index : t -> string -> t
 (** Raises [Semantic_error] if this table has no index of that name. *)
@@ -67,6 +68,9 @@ val index_list : t -> Index.t list
 val index_on_column : t -> string -> Index.t option
 (** Any index whose key is the given column. *)
 
+val ordered_index_on_column : t -> string -> Index.t option
+(** Any [`Ordered] index whose key is the given column. *)
+
 val probe : t -> column:string -> Value.t list -> (Handle.t * Row.t) list option
 (** [probe t ~column values] returns the rows whose [column] equals one
     of [values], using an index over that column — or [None] when no
@@ -75,5 +79,30 @@ val probe : t -> column:string -> Value.t list -> (Handle.t * Row.t) list option
     surfaces there).  NULL values match nothing.  Results are in handle
     (= insertion) order: a probe result is an order-preserving
     subsequence of the scan. *)
+
+val range_probe :
+  t ->
+  column:string ->
+  lower:Index.bound option ->
+  upper:Index.bound option ->
+  (Handle.t * Row.t) list option
+(** [range_probe t ~column ~lower ~upper] returns the rows whose
+    [column] falls within the bounds, using an ordered index over that
+    column — or [None] when no ordered index covers the column or a
+    bound value is type-incompatible (the caller falls back to a scan).
+    NULL bounds select nothing.  Results are in handle order, like
+    [probe]. *)
+
+(** {2 Statistics}
+
+    Row counts and per-index distinct-key counts are maintained
+    incrementally by the mutation operations, so reading them is cheap
+    at any snapshot — this is what the cost-based planner consults. *)
+
+val column_stats : t -> string -> (int * bool) option
+(** [column_stats t column] is [Some (distinct, ordered)] when an index
+    covers [column]: the number of distinct non-null keys and whether
+    range probes are available (an ordered index exists).  [None] for
+    unindexed columns. *)
 
 val pp : Format.formatter -> t -> unit

@@ -63,6 +63,10 @@ type stats = {
   mutable aborts : int; (* error-driven transaction aborts *)
   mutable seq_scans : int; (* base-table accesses answered by scan *)
   mutable index_probes : int; (* base-table accesses answered by index probe *)
+  mutable range_probes : int;
+      (* base-table accesses answered by an ordered-index range probe *)
+  mutable hash_join_builds : int; (* hash-join build sides constructed *)
+  mutable hash_join_probes : int; (* probes into built join tables *)
   mutable candidates_considered : int;
       (* rules examined for triggering across candidate scans *)
   mutable rules_skipped : int;
@@ -192,6 +196,9 @@ let fresh_stats () =
     aborts = 0;
     seq_scans = 0;
     index_probes = 0;
+    range_probes = 0;
+    hash_join_builds = 0;
+    hash_join_probes = 0;
     candidates_considered = 0;
     rules_skipped = 0;
   }
@@ -276,10 +283,18 @@ let access_for t db : Eval.access =
         else None);
     acc_probe =
       (fun ~table ~column values -> Database.probe db ~table ~column values);
+    acc_range =
+      (fun ~table ~column ~lower ~upper ->
+        Database.range_probe db ~table ~column ~lower ~upper);
     acc_note =
       (fun ~table:_ -> function
         | `Seq_scan -> t.stats.seq_scans <- t.stats.seq_scans + 1
-        | `Index_probe -> t.stats.index_probes <- t.stats.index_probes + 1);
+        | `Index_probe -> t.stats.index_probes <- t.stats.index_probes + 1
+        | `Range_probe -> t.stats.range_probes <- t.stats.range_probes + 1
+        | `Hash_join_build ->
+          t.stats.hash_join_builds <- t.stats.hash_join_builds + 1
+        | `Hash_join_probe ->
+          t.stats.hash_join_probes <- t.stats.hash_join_probes + 1);
     acc_index =
       (fun ~table ~column ->
         List.find_map
@@ -293,15 +308,18 @@ let access_for t db : Eval.access =
         if Database.has_table db table then
           Some (Table.cardinality (Database.table db table))
         else None);
+    acc_stats = (fun ~table ~column -> Database.column_stats db ~table ~column);
   }
 (* The validity key for compiled rule forms: a compiled condition or
    action is reusable only against the catalog it was compiled for and
    the planner switches in force at compile time (join-equivalence
-   links and probe candidates are selected statically). *)
+   links and probe candidates are selected statically; the cost-model
+   switch changes which candidate shapes are even collected). *)
 let gen_key t =
-  (t.ddl_gen * 4)
-  + (if !Eval.predicate_pushdown then 2 else 0)
-  + if !Eval.join_optimization then 1 else 0
+  (t.ddl_gen * 8)
+  + (if !Eval.predicate_pushdown then 4 else 0)
+  + (if !Eval.join_optimization then 2 else 0)
+  + if !Eval.cost_model then 1 else 0
 
 (* Fetch (or build) the compiled form of a rule's condition. *)
 let compiled_condition t (rule : Rule.t) cond =
@@ -1121,11 +1139,11 @@ let drop_table t name =
    pre-transition states (transition tables, rollback) each carry the
    index set current when they were snapshotted, and changing indexes
    mid-transaction would make probe decisions differ between states. *)
-let create_index t ~ix_name ~table ~column =
+let create_index t ~ix_name ~table ~column ~kind =
   if in_transaction t then
     Errors.raise_error
       (Errors.Transaction_error "DDL inside a transaction is not supported");
-  t.db <- Database.create_index t.db ~ix_name ~table ~column;
+  t.db <- Database.create_index t.db ~ix_name ~table ~column ~kind;
   t.ddl_gen <- t.ddl_gen + 1
 
 let drop_index t ix_name =

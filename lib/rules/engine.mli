@@ -65,6 +65,12 @@ type stats = {
       (** base-table accesses answered by a full scan *)
   mutable index_probes : int;
       (** base-table accesses answered by an index probe *)
+  mutable range_probes : int;
+      (** base-table accesses answered by an ordered-index range probe *)
+  mutable hash_join_builds : int;
+      (** hash-join build sides constructed by the join executor *)
+  mutable hash_join_probes : int;
+      (** probes into built join tables (one per partial row) *)
   mutable candidates_considered : int;
       (** rules examined for triggering across candidate scans *)
   mutable rules_skipped : int;
@@ -267,10 +273,14 @@ val create_table : t -> Schema.table -> unit
 val drop_table : t -> string -> unit
 (** Rejected while rules are triggered by the table. *)
 
-val create_index : t -> ix_name:string -> table:string -> column:string -> unit
-(** Build a secondary hash index over a column.  Like all DDL this is
-    rejected inside a transaction, which keeps the index set uniform
-    across the pre-transition states the engine retains. *)
+val create_index :
+  t -> ix_name:string -> table:string -> column:string -> kind:Index.kind ->
+  unit
+(** Build a secondary index over a column — [`Hash] for equality/IN
+    probes, [`Ordered] for those plus range and prefix-LIKE probes.
+    Like all DDL this is rejected inside a transaction, which keeps the
+    index set uniform across the pre-transition states the engine
+    retains. *)
 
 val drop_index : t -> string -> unit
 (** Index names are database-wide, so only the name is needed. *)

@@ -161,8 +161,14 @@ type statement =
   | Stmt_create_assertion of string * expr
       (* SQL-assertion-style cross-table constraint, compiled to rules *)
   | Stmt_drop_assertion of string
-  | Stmt_create_index of { ix_name : string; ix_table : string; ix_column : string }
-      (* single-column hash index: an equality access path *)
+  | Stmt_create_index of {
+      ix_name : string;
+      ix_table : string;
+      ix_column : string;
+      ix_kind : Index.kind;
+    }
+      (* single-column index: an equality access path ([`Hash]) or an
+         equality-and-range access path ([`Ordered]) *)
   | Stmt_drop_index of string
   | Stmt_show_tables
   | Stmt_show_rules

@@ -92,11 +92,16 @@ type cselect = {
 }
 
 (* A compiled probe: the statically-selected sargable candidates for
-   one base table, tried in conjunct order at run time. *)
+   one base table, ranked by the shared cost model at run time. *)
 type ccand = {
   cd_column : string;
   cd_conj : Ast.expr; (* for EXPLAIN rendering only *)
-  cd_values : [ `Exprs of cexpr list | `Select of (rt -> renv -> Value.t list) ];
+  cd_shape : Eval.probe_shape; (* static shape, for cost estimation *)
+  cd_values :
+    [ `Exprs of cexpr list
+    | `Select of (rt -> renv -> Value.t list)
+    | `Bounds of (cexpr * bool) option * (cexpr * bool) option
+    | `Like of cexpr ];
 }
 
 type cprobe = { cp_table : string; cp_cands : ccand list }
@@ -223,28 +228,69 @@ let take limit rows =
     in
     go n rows
 
-(* Try each compiled probe candidate in conjunct order, with the
+(* Rank the compiled candidates with the shared decision procedure
+   ([Eval.choose_candidates]), then try them cheapest-first with the
    interpreter's fallback semantics: a value-evaluation error or an
    unusable index moves on to the next candidate; [None] means "scan
    instead".  Probe values evaluate against the outer scopes alone
    (they were compiled under them), in non-grouped context. *)
-let run_probe_values rt access cp (outer : renv) =
+let run_probe_values rt access cp (outer : renv) : Eval.probe_hit option =
+  let ranked =
+    Eval.choose_candidates access ~table:cp.cp_table
+      (List.map (fun cd -> (cd, cd.cd_column, cd.cd_shape)) cp.cp_cands)
+  in
   List.find_map
-    (fun cd ->
-      match
-        try
-          Some
-            (match cd.cd_values with
-            | `Exprs ces -> List.map (fun ce -> ce rt None outer) ces
-            | `Select f -> f rt outer)
-        with _ -> None
-      with
+    (fun (cd, est) ->
+      let eval_bound =
+        Option.map (fun (ce, incl) -> ((ce rt None outer : Value.t), incl))
+      in
+      let probe () =
+        match cd.cd_values with
+        | `Exprs ces ->
+          access.Eval.acc_probe ~table:cp.cp_table ~column:cd.cd_column
+            (List.map (fun ce -> ce rt None outer) ces)
+        | `Select f ->
+          access.Eval.acc_probe ~table:cp.cp_table ~column:cd.cd_column
+            (f rt outer)
+        | `Bounds (lo, hi) ->
+          access.Eval.acc_range ~table:cp.cp_table ~column:cd.cd_column
+            ~lower:(eval_bound lo) ~upper:(eval_bound hi)
+        | `Like ce -> (
+          match ce rt None outer with
+          | Value.Null ->
+            (* LIKE NULL is UNKNOWN for every row: a NULL-bounded range
+               probe selects exactly nothing *)
+            access.Eval.acc_range ~table:cp.cp_table ~column:cd.cd_column
+              ~lower:(Some (Value.Null, true))
+              ~upper:None
+          | Value.Str pat -> (
+            match Index.like_prefix pat with
+            | None -> None
+            | Some (prefix, upper) ->
+              access.Eval.acc_range ~table:cp.cp_table ~column:cd.cd_column
+                ~lower:(Some (Value.Str prefix, true))
+                ~upper:(Option.map (fun u -> (Value.Str u, false)) upper))
+          | Value.Int _ | Value.Float _ | Value.Bool _ ->
+            (* the scan path reports the type error faithfully *)
+            None)
+      in
+      match (try probe () with _ -> None) with
       | None -> None
-      | Some values ->
-        Option.map
-          (fun pairs -> (cd.cd_column, cd.cd_conj, pairs))
-          (access.Eval.acc_probe ~table:cp.cp_table ~column:cd.cd_column values))
-    cp.cp_cands
+      | Some pairs ->
+        let kind =
+          match cd.cd_values with
+          | `Exprs _ | `Select _ -> `Eq
+          | `Bounds _ | `Like _ -> `Range
+        in
+        Some
+          {
+            Eval.ph_column = cd.cd_column;
+            ph_conjunct = cd.cd_conj;
+            ph_kind = kind;
+            ph_est = est;
+            ph_pairs = pairs;
+          })
+    ranked
 
 (* Compiled projections: stars become position lists into the local
    frame; an unknown table-star becomes a closure raising at
@@ -598,20 +644,57 @@ and compile_probe_plan ctx ~frame ~target ~table (where : Ast.expr option) :
           | [ (n, _) ] -> String.equal n target
           | _ -> false)
       in
+      let range_of op e =
+        (* the column is on the left: [col op e] *)
+        match op with
+        | Ast.Lt -> Some (None, Some (e, false))
+        | Ast.Le -> Some (None, Some (e, true))
+        | Ast.Gt -> Some (Some (e, false), None)
+        | Ast.Ge -> Some (Some (e, true), None)
+        | Ast.Eq | Ast.Neq -> None
+      in
+      let mirror op =
+        match op with
+        | Ast.Lt -> Ast.Gt
+        | Ast.Le -> Ast.Ge
+        | Ast.Gt -> Ast.Lt
+        | Ast.Ge -> Ast.Le
+        | (Ast.Eq | Ast.Neq) as op -> op
+      in
       let candidate = function
         | Ast.Cmp (Ast.Eq, Ast.Col { qualifier; column }, e)
           when attributes_to_target qualifier column && ind_expr e ->
-          Some (column, `Exprs [ e ])
+          Some (column, Eval.Shape_eq (Some 1), `Exprs [ e ])
         | Ast.Cmp (Ast.Eq, e, Ast.Col { qualifier; column })
           when attributes_to_target qualifier column && ind_expr e ->
-          Some (column, `Exprs [ e ])
+          Some (column, Eval.Shape_eq (Some 1), `Exprs [ e ])
         | Ast.In_list (Ast.Col { qualifier; column }, es)
           when attributes_to_target qualifier column && List.for_all ind_expr es
           ->
-          Some (column, `Exprs es)
+          Some (column, Eval.Shape_eq (Some (List.length es)), `Exprs es)
         | Ast.In_select (Ast.Col { qualifier; column }, sub)
           when attributes_to_target qualifier column && ind_sel sub ->
-          Some (column, `Select sub)
+          Some (column, Eval.Shape_eq None, `Select sub)
+        | Ast.Cmp (op, Ast.Col { qualifier; column }, e)
+          when attributes_to_target qualifier column && ind_expr e -> (
+          match range_of op e with
+          | Some bounds -> Some (column, Eval.Shape_range, `Bounds bounds)
+          | None -> None)
+        | Ast.Cmp (op, e, Ast.Col { qualifier; column })
+          when attributes_to_target qualifier column && ind_expr e -> (
+          match range_of (mirror op) e with
+          | Some bounds -> Some (column, Eval.Shape_range, `Bounds bounds)
+          | None -> None)
+        | Ast.Between (Ast.Col { qualifier; column }, lo, hi)
+          when attributes_to_target qualifier column && ind_expr lo
+               && ind_expr hi ->
+          Some
+            ( column,
+              Eval.Shape_range,
+              `Bounds (Some (lo, true), Some (hi, true)) )
+        | Ast.Like (Ast.Col { qualifier; column }, p)
+          when attributes_to_target qualifier column && ind_expr p ->
+          Some (column, Eval.Shape_prefix, `Like p)
         | _ -> None
       in
       let cands =
@@ -619,13 +702,24 @@ and compile_probe_plan ctx ~frame ~target ~table (where : Ast.expr option) :
           (fun conj ->
             match candidate conj with
             | None -> None
-            | Some (column, src) ->
+            | Some (column, shape, src) ->
+              let cbound =
+                Option.map (fun (e, incl) -> (cexpr_of ctx e, incl))
+              in
               let cv =
                 match src with
                 | `Exprs es -> `Exprs (List.map (cexpr_of ctx) es)
                 | `Select sub -> `Select (compile_subquery_column ctx sub)
+                | `Bounds (lo, hi) -> `Bounds (cbound lo, cbound hi)
+                | `Like p -> `Like (cexpr_of ctx p)
               in
-              Some { cd_column = column; cd_conj = conj; cd_values = cv })
+              Some
+                {
+                  cd_column = column;
+                  cd_conj = conj;
+                  cd_shape = shape;
+                  cd_values = cv;
+                })
           (Eval.conjuncts pred)
       in
       match cands with [] -> None | _ :: _ -> Some { cp_table = table; cp_cands = cands }
@@ -733,7 +827,7 @@ and compile_plain ctx (s : Ast.select) : cselect =
                   Ast.Col { qualifier = q2; column = c2 } ) -> (
               match attribute q1 c1, attribute q2 c2 with
               | Some (n1, cs1), Some (n2, cs2) when not (String.equal n1 n2) ->
-                Some ((n1, cs1, c1), (n2, cs2, c2))
+                Some (conj, (n1, cs1, c1), (n2, cs2, c2))
               | _ -> None)
             | _ -> None)
           (Eval.conjuncts pred)
@@ -750,17 +844,19 @@ and compile_plain ctx (s : Ast.select) : cselect =
       (fun k (name, cols, _) ->
         let bound n = match index_of_name n with Some i -> i < k | None -> false in
         List.find_map
-          (fun ((n1, cs1, c1), (n2, cs2, c2)) ->
+          (fun (conj, (n1, cs1, c1), (n2, cs2, c2)) ->
             if String.equal n2 name && bound n1 then
               Some
                 ( Option.get (index_of_name n1),
                   Option.get (col_index cs1 c1),
-                  Option.get (col_index cols c2) )
+                  Option.get (col_index cols c2),
+                  { Eval.jp_with = n1; jp_conjunct = Pretty.expr_str conj } )
             else if String.equal n1 name && bound n2 then
               Some
                 ( Option.get (index_of_name n2),
                   Option.get (col_index cs2 c2),
-                  Option.get (col_index cols c1) )
+                  Option.get (col_index cols c1),
+                  { Eval.jp_with = n2; jp_conjunct = Pretty.expr_str conj } )
             else None)
           equi_pairs)
       items
@@ -863,10 +959,15 @@ and compile_plain ctx (s : Ast.select) : cselect =
     in
     (match dup_err with Some e -> Errors.raise_error e | None -> ());
     (* phase 2: join, realizing lazy sources by probe or scan *)
-    let rec extend partials k rs ps ls =
-      match rs, ps, ls with
-      | [], _, _ -> partials
-      | r :: rs', p :: ps', l :: ls' ->
+    let note_join ev name =
+      match rt.rt_access with
+      | Some access -> access.Eval.acc_note ~table:name ev
+      | None -> ()
+    in
+    let rec extend partials k rs ps ls ns =
+      match rs, ps, ls, ns with
+      | [], _, _, _ -> partials
+      | r :: rs', p :: ps', l :: ls', n :: ns' ->
         let rows =
           match r with
           | `Rows rows -> rows
@@ -874,9 +975,12 @@ and compile_plain ctx (s : Ast.select) : cselect =
             match p with
             | Some cp -> (
               match run_probe_values rt access cp outer with
-              | Some (_, _, pairs) ->
-                access.Eval.acc_note ~table:tbl `Index_probe;
-                List.map snd pairs
+              | Some hit ->
+                access.Eval.acc_note ~table:tbl
+                  (match hit.Eval.ph_kind with
+                  | `Eq -> `Index_probe
+                  | `Range -> `Range_probe);
+                List.map snd hit.Eval.ph_pairs
               | None ->
                 access.Eval.acc_note ~table:tbl `Seq_scan;
                 (rt.rt_resolve (Ast.Base tbl)).Eval.rows)
@@ -886,9 +990,13 @@ and compile_plain ctx (s : Ast.select) : cselect =
         in
         let partials' =
           match l with
-          | Some (b_item, b_ix, n_ix) ->
+          | Some (b_item, b_ix, n_ix, _) when partials <> [] ->
             (* hash join on the static link, preserving nested-loop
-               enumeration order *)
+               enumeration order.  With no partial frames left the
+               interpreter's dynamic link detection never fires (no
+               bound row to join against), so the build is skipped —
+               the guard keeps the access-note counters identical. *)
+            note_join `Hash_join_build n;
             let table =
               List.fold_left
                 (fun m row ->
@@ -900,21 +1008,23 @@ and compile_plain ctx (s : Ast.select) : cselect =
             let table = Key_map.map List.rev table in
             List.concat_map
               (fun partial ->
+                note_join `Hash_join_probe n;
                 let bound_row = List.nth partial (k - 1 - b_item) in
                 let key = bound_row.(b_ix) in
                 match Key_map.find_opt key table with
                 | None -> []
                 | Some rows -> List.map (fun row -> row :: partial) rows)
               partials
-          | None ->
+          | Some _ | None ->
             List.concat_map
               (fun partial -> List.map (fun row -> row :: partial) rows)
               partials
         in
-        extend partials' (k + 1) rs' ps' ls'
+        extend partials' (k + 1) rs' ps' ls' ns'
       | _ -> assert false
     in
-    let frames = extend [ [] ] 0 resolved probes links in
+    let names = List.map (fun (n, _, _) -> n) items in
+    let frames = extend [ [] ] 0 resolved probes links names in
     let row_envs =
       List.map
         (fun partial -> Array.append [| Array.of_list (List.rev partial) |] outer)
@@ -1059,32 +1169,29 @@ and compile_plain ctx (s : Ast.select) : cselect =
         items
     in
     (match dup_err with Some e -> Errors.raise_error e | None -> ());
+    (* the static links double as the plan's join annotations; like the
+       interpreter's planner this reports the join the executor would
+       do (execution skips the build when an earlier source turned out
+       empty — the frame is already empty then) *)
     List.map2
-      (fun entry probe ->
+      (fun (entry, probe) link ->
+        let sp_join = Option.map (fun (_, _, _, jp) -> jp) link in
         match entry with
-        | `Done (name, path) -> { Eval.sp_binding = name; sp_path = path }
+        | `Done (name, path) -> { Eval.sp_binding = name; sp_path = path; sp_join }
         | `Lazy (name, tbl) ->
           let path =
             match probe with
             | Some cp -> (
               match run_probe_values rt access cp outer with
-              | Some (column, conj, pairs) ->
-                Eval.Index_probe
-                  {
-                    table = tbl;
-                    index = access.Eval.acc_index ~table:tbl ~column;
-                    column;
-                    conjunct = Pretty.expr_str conj;
-                    matches = List.length pairs;
-                    rows = access.Eval.acc_count ~table:tbl;
-                  }
+              | Some hit -> Eval.probed_path access ~table:tbl hit
               | None ->
                 Eval.Seq_scan { table = tbl; rows = access.Eval.acc_count ~table:tbl })
             | None ->
               Eval.Seq_scan { table = tbl; rows = access.Eval.acc_count ~table:tbl }
           in
-          { Eval.sp_binding = name; sp_path = path })
-      phase1 probes
+          { Eval.sp_binding = name; sp_path = path; sp_join })
+      (List.combine phase1 probes)
+      links
   in
   { cs_cols = sr_cols; cs_run; cs_plan }
 
@@ -1104,8 +1211,7 @@ let select_cols cs = cs.cs_cols
 let compile_probe ctx ~frame ~target ~table where =
   compile_probe_plan ctx ~frame ~target ~table where
 
-let run_probe rt access cp =
-  Option.map (fun (_, _, pairs) -> pairs) (run_probe_values rt access cp [||])
+let run_probe rt access cp = run_probe_values rt access cp [||]
 
 type cpred = { cp_expr : cexpr; cp_nslots : int }
 
@@ -1156,17 +1262,8 @@ let plan_op ~access resolve db (op : Ast.op) : Eval.source_plan list =
       match cp with
       | Some cp -> (
         match run_probe_values rt access cp [||] with
-        | Some (column, conj, pairs) ->
-          Eval.Index_probe
-            {
-              table;
-              index = access.Eval.acc_index ~table ~column;
-              column;
-              conjunct = Pretty.expr_str conj;
-              matches = List.length pairs;
-              rows = access.Eval.acc_count ~table;
-            }
+        | Some hit -> Eval.probed_path access ~table hit
         | None -> Eval.Seq_scan { table; rows = access.Eval.acc_count ~table })
       | None -> Eval.Seq_scan { table; rows = access.Eval.acc_count ~table }
     in
-    [ { Eval.sp_binding = table; sp_path = path } ]
+    [ { Eval.sp_binding = table; sp_path = path; sp_join = None } ]

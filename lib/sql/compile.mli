@@ -128,11 +128,10 @@ val compile_probe :
 (** [None] when no conjunct is sargable (or pushdown is disabled at
     compile time): scan instead. *)
 
-val run_probe :
-  rt -> Eval.access -> cprobe -> (Handle.t * Row.t) list option
-(** Probe with outer scopes empty; [None] means every candidate fell
-    through (value evaluation failed or no usable index): scan
-    instead. *)
+val run_probe : rt -> Eval.access -> cprobe -> Eval.probe_hit option
+(** Probe with outer scopes empty, candidates ranked by the shared cost
+    model; [None] means every candidate fell through (value evaluation
+    failed or no usable index): scan instead. *)
 
 (** {2 EXPLAIN} *)
 

@@ -67,9 +67,12 @@ let selected_handles ?cache ?access resolve tbl where =
       Eval.probe_table ?cache ~access resolve ~table:name ~bind_name:name ~cols
         where
     with
-    | Some pairs ->
-      access.Eval.acc_note ~table:name `Index_probe;
-      List.filter (fun (_, row) -> keep row) pairs
+    | Some hit ->
+      access.Eval.acc_note ~table:name
+        (match hit.Eval.ph_kind with
+        | `Eq -> `Index_probe
+        | `Range -> `Range_probe);
+      List.filter (fun (_, row) -> keep row) hit.Eval.ph_pairs
     | None ->
       access.Eval.acc_note ~table:name `Seq_scan;
       scan ())
@@ -416,9 +419,12 @@ let selected_handles_c rt ?access tbl cwhere cprobe =
       | None -> None
       | Some cp -> Compile.run_probe rt access cp
     with
-    | Some pairs ->
-      access.Eval.acc_note ~table:name `Index_probe;
-      List.filter (fun (_, row) -> keep row) pairs
+    | Some hit ->
+      access.Eval.acc_note ~table:name
+        (match hit.Eval.ph_kind with
+        | `Eq -> `Index_probe
+        | `Range -> `Range_probe);
+      List.filter (fun (_, row) -> keep row) hit.Eval.ph_pairs
     | None ->
       access.Eval.acc_note ~table:name `Seq_scan;
       scan ())

@@ -133,15 +133,106 @@ type access = {
     column:string ->
     Value.t list ->
     (Handle.t * Row.t) list option;
-  acc_note : table:string -> [ `Seq_scan | `Index_probe ] -> unit;
+  acc_range :
+    table:string ->
+    column:string ->
+    lower:(Value.t * bool) option ->
+    upper:(Value.t * bool) option ->
+    (Handle.t * Row.t) list option;
+  acc_note :
+    table:string ->
+    [ `Seq_scan | `Index_probe | `Range_probe | `Hash_join_build
+    | `Hash_join_probe ] ->
+    unit;
   acc_index : table:string -> column:string -> string option;
   acc_count : table:string -> int option;
+  acc_stats : table:string -> column:string -> (int * bool) option;
 }
 
 (* Equality-predicate pushdown into index probes; mutable only so the
    differential harness and the ablation benchmark can compare against
    pure scans. *)
 let predicate_pushdown = ref true
+
+(* Cost-based access-path selection.  When on, the planner ranks every
+   sargable conjunct — equality, IN, range comparison, BETWEEN,
+   prefix LIKE — by estimated enumerated rows from the maintained table
+   statistics and takes the cheapest.  When off, it degrades to the
+   historical first-equality-match rule (no range probes), which the
+   differential harnesses use as an oracle. *)
+let cost_model = ref true
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                          *)
+
+(* The shape of a sargable conjunct, as much of it as is known without
+   evaluating the value side: the key count of an equality/IN probe
+   ([None] for IN (select ...)), a range, or a LIKE prefix range. *)
+type probe_shape = Shape_eq of int option | Shape_range | Shape_prefix
+
+(* Estimated rows a probe of [shape] over [column] would enumerate,
+   from the incrementally-maintained statistics: row count and
+   per-indexed-column distinct key count.  [None] = no usable index
+   (no index at all, or a range shape without an ordered index).
+   Selectivity of ranges is guessed at 1/3 (1/4 for prefixes) in the
+   System R tradition — no histograms are kept. *)
+let estimate_shape access ~table ~column shape =
+  match access.acc_stats ~table ~column with
+  | None -> None
+  | Some (distinct, ordered) -> (
+    let nrows = Option.value (access.acc_count ~table) ~default:0 in
+    match shape with
+    | Shape_eq k ->
+      let k = Option.value k ~default:2 in
+      Some (k * nrows / max 1 distinct)
+    | Shape_range -> if ordered then Some ((nrows + 2) / 3) else None
+    | Shape_prefix -> if ordered then Some ((nrows + 3) / 4) else None)
+
+(* The single decision procedure shared by the interpreting and
+   compiling evaluators (and hence by execution and EXPLAIN): given the
+   sargable candidates of a WHERE clause in conjunct order, return the
+   ones worth attempting, cheapest first, with their estimates.  The
+   caller tries them in order and falls back to the scan when none
+   probes successfully (no index after all, type-incompatible values,
+   value evaluation error).
+
+   With the cost model off this is the historical planner: equality
+   candidates only, in conjunct order, no estimates. *)
+let choose_candidates access ~table cands =
+  if not !cost_model then
+    List.filter_map
+      (fun (payload, _column, shape) ->
+        match shape with
+        | Shape_eq _ -> Some (payload, None)
+        | Shape_range | Shape_prefix -> None)
+      cands
+  else
+    let scan_cost = access.acc_count ~table in
+    List.filter_map
+      (fun (payload, column, shape) ->
+        match estimate_shape access ~table ~column shape with
+        | None -> None
+        | Some est -> (
+          (* a probe never enumerates more rows than the scan, but when
+             the estimate says it would not help, keep the plan honest
+             and scan *)
+          match scan_cost with
+          | Some n when est > n -> None
+          | Some _ | None -> Some ((payload, Some est), est)))
+      cands
+    |> List.stable_sort (fun (_, a) (_, b) -> Int.compare a b)
+    |> List.map fst
+
+(* A successful probe decision: which column and WHERE conjunct
+   satisfied it, by equality or range probe, the estimate that ranked
+   it ([None] under the legacy planner), and the rows it enumerates. *)
+type probe_hit = {
+  ph_column : string;
+  ph_conjunct : Ast.expr;
+  ph_kind : [ `Eq | `Range ];
+  ph_est : int option;
+  ph_pairs : (Handle.t * Row.t) list;
+}
 
 (* Split a predicate into its top-level AND conjuncts. *)
 let rec conjuncts e =
@@ -609,22 +700,28 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
 
     let compare = Value.compare_total
   end) in
-  (* realize a lazily-bound base table: by index probe when a sargable
-     conjunct allows it, by scan otherwise *)
+  (* realize a lazily-bound base table: by index (or range) probe when
+     a sargable conjunct allows it, by scan otherwise *)
   let realize bind_name tbl_name =
     let access =
       match ctx.access with Some a -> a | None -> assert false
     in
     match
-      probe_source ctx outer ~frame:frame_shape ~target_name:bind_name
+      probe_plan ctx outer ~frame:frame_shape ~target_name:bind_name
         ~table:tbl_name where
     with
-    | Some pairs ->
-      access.acc_note ~table:tbl_name `Index_probe;
-      List.map snd pairs
+    | Some hit ->
+      access.acc_note ~table:tbl_name
+        (match hit.ph_kind with `Eq -> `Index_probe | `Range -> `Range_probe);
+      List.map snd hit.ph_pairs
     | None ->
       access.acc_note ~table:tbl_name `Seq_scan;
       (ctx.resolve (Ast.Base tbl_name)).rows
+  in
+  let note_join ev name =
+    match ctx.access with
+    | Some access -> access.acc_note ~table:name ev
+    | None -> ()
   in
   (* partial frames are built in reverse binding order *)
   let extend partials (name, cols, kind) =
@@ -654,6 +751,7 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
       let bound_ix = Option.get (col_index bound_cols bound_col) in
       (* hash the new source's rows by join key, preserving row order
          within each bucket *)
+      note_join `Hash_join_build name;
       let table =
         List.fold_left
           (fun m row ->
@@ -665,6 +763,7 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
       let table = Key_map.map List.rev table in
       List.concat_map
         (fun partial ->
+          note_join `Hash_join_probe name;
           let bound_binding =
             List.find (fun b -> String.equal b.bind_name bound_name) partial
           in
@@ -692,28 +791,24 @@ and from_row_envs ctx (outer : env) ?where (from : Ast.from_item list) :
   List.map (fun frame -> List.rev frame :: outer) frames
 
 (* The access-path planner: try to satisfy one FROM source by an index
-   probe instead of a scan.  Scans the WHERE conjuncts for the first
-   sargable pattern — [col = e], [e = col], [col IN (e, ...)] or
-   [col IN (select ...)] — whose column attributes uniquely to the
+   probe instead of a scan.  Scans the WHERE conjuncts for sargable
+   patterns — [col = e], [e = col], [col IN (e, ...)],
+   [col IN (select ...)], the range comparisons [col < e] / [col <= e]
+   / [col > e] / [col >= e] (and mirrored), [col BETWEEN a AND b] and
+   [col LIKE 'prefix%...'] — whose column attributes uniquely to the
    target source and whose other side provably cannot reference the
-   frame being built (see [independence]).  The probe values are then
-   evaluated once against the outer scopes; any evaluation error falls
-   back to the scan, which either reports the same error while
+   frame being built (see [independence]).  [choose_candidates] ranks
+   the candidates by estimated cost (or keeps the legacy
+   first-equality-match order with the cost model off); probe values
+   are then evaluated once against the outer scopes, and any
+   evaluation error or unusable index falls back to the next candidate
+   and finally the scan, which either reports the same error while
    filtering or — e.g. over an empty table — never evaluates the
    faulty expression, exactly matching unoptimized behaviour.  NULL
-   probe values match nothing, as SQL equality requires. *)
-and probe_source ctx (outer : env) ~frame ~target_name ~table
-    (where : Ast.expr option) : (Handle.t * Row.t) list option =
-  Option.map
-    (fun (_, _, pairs) -> pairs)
-    (probe_plan ctx outer ~frame ~target_name ~table where)
-
-(* Like [probe_source] but also reporting which column and which WHERE
-   conjunct satisfied the probe — the same decision procedure serves
-   both execution and EXPLAIN, so the two can never disagree. *)
+   probe values and range bounds match nothing, as SQL comparison
+   semantics require. *)
 and probe_plan ctx (outer : env) ~frame ~target_name ~table
-    (where : Ast.expr option) :
-    (string * Ast.expr * (Handle.t * Row.t) list) option =
+    (where : Ast.expr option) : probe_hit option =
   match ctx.access, where with
   | None, _ | _, None -> None
   | Some access, Some pred ->
@@ -736,38 +831,113 @@ and probe_plan ctx (outer : env) ~frame ~target_name ~table
           | _ -> false)
       in
       let eval_ctx = { ctx with group = None } in
-      let values_of = function
-        | `Exprs es -> List.map (eval_expr eval_ctx outer) es
-        | `Select sub -> subquery_column eval_ctx outer sub
+      let range_of op e =
+        (* the column is on the left: [col op e] *)
+        match op with
+        | Ast.Lt -> Some (None, Some (e, false))
+        | Ast.Le -> Some (None, Some (e, true))
+        | Ast.Gt -> Some (Some (e, false), None)
+        | Ast.Ge -> Some (Some (e, true), None)
+        | Ast.Eq | Ast.Neq -> None
       in
-      let candidate = function
+      let mirror op =
+        match op with
+        | Ast.Lt -> Ast.Gt
+        | Ast.Le -> Ast.Ge
+        | Ast.Gt -> Ast.Lt
+        | Ast.Ge -> Ast.Le
+        | (Ast.Eq | Ast.Neq) as op -> op
+      in
+      let candidate conj =
+        match conj with
         | Ast.Cmp (Ast.Eq, Ast.Col { qualifier; column }, e)
           when attributes_to_target qualifier column && ind_expr e ->
-          Some (column, `Exprs [ e ])
+          Some (conj, column, Shape_eq (Some 1), `Exprs [ e ])
         | Ast.Cmp (Ast.Eq, e, Ast.Col { qualifier; column })
           when attributes_to_target qualifier column && ind_expr e ->
-          Some (column, `Exprs [ e ])
+          Some (conj, column, Shape_eq (Some 1), `Exprs [ e ])
         | Ast.In_list (Ast.Col { qualifier; column }, es)
           when attributes_to_target qualifier column && List.for_all ind_expr es
           ->
-          Some (column, `Exprs es)
+          Some (conj, column, Shape_eq (Some (List.length es)), `Exprs es)
         | Ast.In_select (Ast.Col { qualifier; column }, sub)
           when attributes_to_target qualifier column && ind_sel sub ->
-          Some (column, `Select sub)
+          Some (conj, column, Shape_eq None, `Select sub)
+        | Ast.Cmp (op, Ast.Col { qualifier; column }, e)
+          when attributes_to_target qualifier column && ind_expr e -> (
+          match range_of op e with
+          | Some bounds -> Some (conj, column, Shape_range, `Bounds bounds)
+          | None -> None)
+        | Ast.Cmp (op, e, Ast.Col { qualifier; column })
+          when attributes_to_target qualifier column && ind_expr e -> (
+          match range_of (mirror op) e with
+          | Some bounds -> Some (conj, column, Shape_range, `Bounds bounds)
+          | None -> None)
+        | Ast.Between (Ast.Col { qualifier; column }, lo, hi)
+          when attributes_to_target qualifier column && ind_expr lo
+               && ind_expr hi ->
+          Some
+            (conj, column, Shape_range, `Bounds (Some (lo, true), Some (hi, true)))
+        | Ast.Like (Ast.Col { qualifier; column }, p)
+          when attributes_to_target qualifier column && ind_expr p ->
+          Some (conj, column, Shape_prefix, `Like p)
         | _ -> None
       in
-      List.find_map
-        (fun conj ->
-          match candidate conj with
-          | None -> None
-          | Some (column, src) -> (
-            match (try Some (values_of src) with _ -> None) with
-            | None -> None
-            | Some values ->
-              Option.map
-                (fun pairs -> (column, conj, pairs))
-                (access.acc_probe ~table ~column values)))
-        (conjuncts pred)
+      let attempt ((conj, column, src), est) =
+        let eval_bound =
+          Option.map (fun (e, incl) -> (eval_expr eval_ctx outer e, incl))
+        in
+        let probe () =
+          match src with
+          | `Exprs es ->
+            access.acc_probe ~table ~column
+              (List.map (eval_expr eval_ctx outer) es)
+          | `Select sub ->
+            access.acc_probe ~table ~column (subquery_column eval_ctx outer sub)
+          | `Bounds (lo, hi) ->
+            access.acc_range ~table ~column ~lower:(eval_bound lo)
+              ~upper:(eval_bound hi)
+          | `Like p -> (
+            match eval_expr eval_ctx outer p with
+            | Value.Null ->
+              (* LIKE NULL is UNKNOWN for every row: a NULL-bounded
+                 range probe selects exactly nothing *)
+              access.acc_range ~table ~column
+                ~lower:(Some (Value.Null, true))
+                ~upper:None
+            | Value.Str pat -> (
+              match Index.like_prefix pat with
+              | None -> None
+              | Some (prefix, upper) ->
+                access.acc_range ~table ~column
+                  ~lower:(Some (Value.Str prefix, true))
+                  ~upper:(Option.map (fun u -> (Value.Str u, false)) upper))
+            | Value.Int _ | Value.Float _ | Value.Bool _ ->
+              (* the scan path reports the type error faithfully *)
+              None)
+        in
+        match (try probe () with _ -> None) with
+        | None -> None
+        | Some pairs ->
+          let kind =
+            match src with
+            | `Exprs _ | `Select _ -> `Eq
+            | `Bounds _ | `Like _ -> `Range
+          in
+          Some
+            {
+              ph_column = column;
+              ph_conjunct = conj;
+              ph_kind = kind;
+              ph_est = est;
+              ph_pairs = pairs;
+            }
+      in
+      List.filter_map candidate (conjuncts pred)
+      |> List.map (fun (conj, column, shape, src) ->
+             ((conj, column, src), column, shape))
+      |> choose_candidates access ~table
+      |> List.find_map attempt
     end
 
 and project_columns ctx (frame_env : env) (projections : Ast.proj list) =
@@ -1083,9 +1253,10 @@ let eval_predicate ?cache ?access ?(outer = empty_env) resolve env e =
 
 (* Entry point for the DML layer's victim selection: probe one base
    table directly, using the same sargable detection, independence
-   analysis and fallback semantics as the FROM-list planner. *)
+   analysis, cost ranking and fallback semantics as the FROM-list
+   planner. *)
 let probe_table ?cache ~access resolve ~table ~bind_name ~cols where =
-  probe_source
+  probe_plan
     { resolve; group = None; cache; watches = []; access = Some access }
     empty_env
     ~frame:[ (bind_name, cols) ]
@@ -1114,23 +1285,43 @@ type access_path =
       index : string option;
       column : string;
       conjunct : string;
+      est : int option;
+      matches : int;
+      rows : int option;
+    }
+  | Range_probe of {
+      table : string;
+      index : string option;
+      column : string;
+      conjunct : string;
+      est : int option;
       matches : int;
       rows : int option;
     }
   | Materialized of { source : string; rows : int }
 
-type source_plan = { sp_binding : string; sp_path : access_path }
+(* A source joined to an earlier FROM binding by a build/probe hash
+   join on an equi-join conjunct (one build per statement execution,
+   one probe per partial row of the frame under construction). *)
+type join_plan = { jp_with : string; jp_conjunct : string }
 
-let probed_path access ~table (column, conj, pairs) =
-  Index_probe
-    {
-      table;
-      index = access.acc_index ~table ~column;
-      column;
-      conjunct = Pretty.expr_str conj;
-      matches = List.length pairs;
-      rows = access.acc_count ~table;
-    }
+type source_plan = {
+  sp_binding : string;
+  sp_path : access_path;
+  sp_join : join_plan option;
+}
+
+let probed_path access ~table hit =
+  let index = access.acc_index ~table ~column:hit.ph_column in
+  let column = hit.ph_column in
+  let conjunct = Pretty.expr_str hit.ph_conjunct in
+  let est = hit.ph_est in
+  let matches = List.length hit.ph_pairs in
+  let rows = access.acc_count ~table in
+  match hit.ph_kind with
+  | `Eq -> Index_probe { table; index; column; conjunct; est; matches; rows }
+  | `Range ->
+    Range_probe { table; index; column; conjunct; est; matches; rows }
 
 let plan_core ctx (outer : env) (s : Ast.select) : source_plan list =
   let access =
@@ -1175,20 +1366,69 @@ let plan_core ctx (outer : env) (s : Ast.select) : source_plan list =
   in
   check names;
   let frame = List.map (fun (n, cols, _) -> (n, cols)) sources in
-  List.map
-    (fun (name, _cols, kind) ->
-      let path =
-        match kind with
-        | `Materialized (what, n) -> Materialized { source = what; rows = n }
-        | `Lazy table -> (
-          match
-            probe_plan ctx outer ~frame ~target_name:name ~table s.Ast.where
-          with
-          | Some hit -> probed_path access ~table hit
-          | None -> Seq_scan { table; rows = access.acc_count ~table })
-      in
-      { sp_binding = name; sp_path = path })
-    sources
+  (* mirror of [from_row_envs]'s equi-join link selection: a source is
+     hash-joined to the first equi-join conjunct connecting it to an
+     earlier binding.  (Execution skips the build when an earlier
+     source turned out empty — the frame is already empty then, so the
+     join never runs; the static plan reports the join it would do.) *)
+  let attribute qualifier column =
+    let has_col (_, cols) = Array.exists (String.equal column) cols in
+    match qualifier with
+    | Some q -> (
+      match List.find_opt (fun (n, _) -> String.equal n q) frame with
+      | Some src when has_col src -> Some src
+      | _ -> None)
+    | None -> (
+      match List.filter has_col frame with [ src ] -> Some src | _ -> None)
+  in
+  let equi_pairs =
+    if not !join_optimization then []
+    else
+      match s.Ast.where with
+      | None -> []
+      | Some pred ->
+        List.filter_map
+          (fun conj ->
+            match conj with
+            | Ast.Cmp
+                ( Ast.Eq,
+                  Ast.Col { qualifier = q1; column = c1 },
+                  Ast.Col { qualifier = q2; column = c2 } ) -> (
+              match attribute q1 c1, attribute q2 c2 with
+              | Some (n1, _), Some (n2, _) when not (String.equal n1 n2) ->
+                Some (conj, n1, n2)
+              | _ -> None)
+            | _ -> None)
+          (conjuncts pred)
+  in
+  let link_for prior name =
+    List.find_map
+      (fun (conj, n1, n2) ->
+        if String.equal n2 name && List.mem n1 prior then
+          Some { jp_with = n1; jp_conjunct = Pretty.expr_str conj }
+        else if String.equal n1 name && List.mem n2 prior then
+          Some { jp_with = n2; jp_conjunct = Pretty.expr_str conj }
+        else None)
+      equi_pairs
+  in
+  let _, plans =
+    List.fold_left
+      (fun (prior, acc) (name, _cols, kind) ->
+        let path =
+          match kind with
+          | `Materialized (what, n) -> Materialized { source = what; rows = n }
+          | `Lazy table -> (
+            match
+              probe_plan ctx outer ~frame ~target_name:name ~table s.Ast.where
+            with
+            | Some hit -> probed_path access ~table hit
+            | None -> Seq_scan { table; rows = access.acc_count ~table })
+        in
+        let sp_join = link_for prior name in
+        (name :: prior, { sp_binding = name; sp_path = path; sp_join } :: acc))
+      ([], []) sources
+  in
+  List.rev plans
 
 let plan_select_inner ctx outer (s : Ast.select) =
   let cores = { s with Ast.compounds = [] } :: List.map snd s.Ast.compounds in
@@ -1220,7 +1460,18 @@ let plan_op ?cache ~access resolve (op : Ast.op) : source_plan list =
       | Some hit -> probed_path access ~table hit
       | None -> Seq_scan { table; rows = access.acc_count ~table }
     in
-    [ { sp_binding = table; sp_path = path } ]
+    [ { sp_binding = table; sp_path = path; sp_join = None } ]
+
+let describe_probe what (index, column, conjunct, est, matches, rows) =
+  let ix = match index with Some i -> i | None -> "<unnamed index>" in
+  let est_s =
+    match est with None -> "" | Some e -> Printf.sprintf "est ~%d, " e
+  in
+  let total =
+    match rows with Some n -> Printf.sprintf " of %d" n | None -> ""
+  in
+  Printf.sprintf "%s via %s on %s, conjunct %s: %s%d%s rows" what ix column
+    conjunct est_s matches total
 
 let describe_access_path = function
   | Seq_scan { table; rows } ->
@@ -1228,15 +1479,22 @@ let describe_access_path = function
       match rows with Some n -> Printf.sprintf " (%d rows)" n | None -> ""
     in
     Printf.sprintf "seq scan of %s%s" table r
-  | Index_probe { table; index; column; conjunct; matches; rows } ->
-    let ix = match index with Some i -> i | None -> "<unnamed index>" in
-    let total =
-      match rows with Some n -> Printf.sprintf " of %d" n | None -> ""
-    in
-    Printf.sprintf "index probe of %s via %s on %s, conjunct %s: %d%s rows"
-      table ix column conjunct matches total
+  | Index_probe { table; index; column; conjunct; est; matches; rows } ->
+    describe_probe
+      (Printf.sprintf "index probe of %s" table)
+      (index, column, conjunct, est, matches, rows)
+  | Range_probe { table; index; column; conjunct; est; matches; rows } ->
+    describe_probe
+      (Printf.sprintf "range probe of %s" table)
+      (index, column, conjunct, est, matches, rows)
   | Materialized { source; rows } ->
     Printf.sprintf "materialized %s (%d rows)" source rows
 
-let describe_source_plan { sp_binding; sp_path } =
-  Printf.sprintf "%s: %s" sp_binding (describe_access_path sp_path)
+let describe_source_plan { sp_binding; sp_path; sp_join } =
+  let join =
+    match sp_join with
+    | None -> ""
+    | Some { jp_with; jp_conjunct } ->
+      Printf.sprintf ", hash join with %s on %s" jp_with jp_conjunct
+  in
+  Printf.sprintf "%s: %s%s" sp_binding (describe_access_path sp_path) join

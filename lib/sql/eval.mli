@@ -79,15 +79,34 @@ type access = {
     (Handle.t * Row.t) list option;
       (** probe any index over the column; [None] when no usable index
           exists *)
-  acc_note : table:string -> [ `Seq_scan | `Index_probe ] -> unit;
-      (** called once per base-table access with the planner's
-          scan-vs-probe decision, for EXPLAIN-style statistics *)
+  acc_range :
+    table:string ->
+    column:string ->
+    lower:(Value.t * bool) option ->
+    upper:(Value.t * bool) option ->
+    (Handle.t * Row.t) list option;
+      (** probe an ordered index over the column for a key range (bound
+          value, inclusive?); [None] when no ordered index exists or a
+          bound is type-incompatible *)
+  acc_note :
+    table:string ->
+    [ `Seq_scan | `Index_probe | `Range_probe | `Hash_join_build
+    | `Hash_join_probe ] ->
+    unit;
+      (** called with every access decision the executor takes — once
+          per base-table access for scans/probes, once per hash-join
+          build and once per probe into a built join table — for
+          EXPLAIN-style statistics *)
   acc_index : table:string -> column:string -> string option;
       (** name of the index that [acc_probe] would use for this column,
           if any; informational (EXPLAIN) only *)
   acc_count : table:string -> int option;
       (** current cardinality of a base table, without materializing
           it; [None] for an unknown table *)
+  acc_stats : table:string -> column:string -> (int * bool) option;
+      (** incrementally-maintained statistics for an indexed column:
+          distinct non-null key count, and whether an ordered index
+          (range capability) covers it; [None] for unindexed columns *)
 }
 
 val predicate_pushdown : bool ref
@@ -95,6 +114,48 @@ val predicate_pushdown : bool ref
     conjuncts are pushed down into index probes.  Results are
     identical; the switch exists for the differential test harness and
     the ablation benchmark. *)
+
+val cost_model : bool ref
+(** When true (the default), the planner ranks all sargable candidates
+    — equality/IN, range comparisons, BETWEEN, prefix LIKE — by
+    estimated enumerated rows from the maintained statistics and takes
+    the cheapest.  When false it degrades to the historical
+    first-equality-match planner (no range probes): the oracle the
+    differential harnesses compare against.  Results are identical
+    either way. *)
+
+(** {2 Cost model} *)
+
+type probe_shape = Shape_eq of int option | Shape_range | Shape_prefix
+(** The statically-known shape of a sargable conjunct: an equality/IN
+    probe with the given key count ([None] = IN (select ...)), a range,
+    or a LIKE prefix range. *)
+
+val estimate_shape :
+  access -> table:string -> column:string -> probe_shape -> int option
+(** Estimated rows a probe of this shape would enumerate, from the
+    maintained statistics ([None] = no usable index).  Ranges are
+    guessed at selectivity 1/3 (prefixes 1/4); equality estimates are
+    keys × rows ∕ distinct. *)
+
+val choose_candidates :
+  access -> table:string -> ('a * string * probe_shape) list ->
+  ('a * int option) list
+(** The single decision procedure shared by the interpreting and
+    compiling evaluators: given [(payload, column, shape)] candidates
+    in conjunct order, the ones worth attempting, cheapest first, each
+    with its estimate.  With {!cost_model} off: equality candidates in
+    conjunct order, no estimates (the historical planner). *)
+
+type probe_hit = {
+  ph_column : string;  (** indexed column satisfying the probe *)
+  ph_conjunct : Ast.expr;  (** the WHERE conjunct pushed down *)
+  ph_kind : [ `Eq | `Range ];
+  ph_est : int option;  (** cost-model estimate; [None] = legacy planner *)
+  ph_pairs : (Handle.t * Row.t) list;  (** rows the probe enumerates *)
+}
+(** A successful probe decision, as produced by {!probe_table} and
+    consumed by the DML layer and EXPLAIN. *)
 
 val probe_table :
   ?cache:cache ->
@@ -104,11 +165,11 @@ val probe_table :
   bind_name:string ->
   cols:string array ->
   Ast.expr option ->
-  (Handle.t * Row.t) list option
+  probe_hit option
 (** Entry point for the DML layer's victim selection: probe one base
     table (bound under [bind_name] with columns [cols]) using the same
-    sargable detection and fallback semantics as the FROM-list
-    planner.  [None] means "scan instead". *)
+    sargable detection, cost ranking and fallback semantics as the
+    FROM-list planner.  [None] means "scan instead". *)
 
 (** {2 Evaluation} *)
 
@@ -152,14 +213,39 @@ type access_path =
       index : string option;  (** probing index's name, when known *)
       column : string;  (** the indexed column *)
       conjunct : string;  (** rendered sargable conjunct *)
+      est : int option;  (** cost-model estimated rows; [None] = legacy *)
       matches : int;  (** handles the probe returned *)
       rows : int option;  (** table cardinality, for selectivity *)
     }
+  | Range_probe of {
+      table : string;
+      index : string option;
+      column : string;
+      conjunct : string;
+      est : int option;
+      matches : int;
+      rows : int option;
+    }  (** like [Index_probe] but over an ordered index's key range *)
   | Materialized of { source : string; rows : int }
       (** eagerly realized source: derived table, transition table, or
           a table the access hooks don't cover *)
 
-type source_plan = { sp_binding : string; sp_path : access_path }
+type join_plan = { jp_with : string; jp_conjunct : string }
+(** The source is hash-joined to earlier binding [jp_with] on the
+    rendered equi-join conjunct [jp_conjunct] (one build per
+    execution, one probe per partial row). *)
+
+type source_plan = {
+  sp_binding : string;
+  sp_path : access_path;
+  sp_join : join_plan option;
+}
+
+val probed_path : access -> table:string -> probe_hit -> access_path
+(** Render a probe decision as a plan node — [Index_probe] or
+    [Range_probe] by the hit's kind, with the same index name,
+    cardinality and estimate fields both planners report.  Shared with
+    {!Compile} so the two EXPLAIN paths cannot drift. *)
 
 val plan_select :
   ?cache:cache -> access:access -> resolver -> Ast.select -> source_plan list

@@ -802,7 +802,21 @@ let parse_statement st =
       expect_kw st "ON";
       let ix_table = expect_ident st "table name" in
       match parse_name_list st with
-      | [ ix_column ] -> Ast.Stmt_create_index { ix_name; ix_table; ix_column }
+      | [ ix_column ] ->
+        let ix_kind =
+          if accept_kw st "USING" then begin
+            let kind = expect_ident st "index kind (HASH or ORDERED)" in
+            match String.lowercase_ascii kind with
+            | "hash" -> `Hash
+            | "ordered" | "btree" -> `Ordered
+            | _ ->
+              error st
+                (Printf.sprintf "unknown index kind %S: expected HASH or ORDERED"
+                   kind)
+          end
+          else `Hash
+        in
+        Ast.Stmt_create_index { ix_name; ix_table; ix_column; ix_kind }
       | _ -> error st "indexes are single-column: expected exactly one column"
     end
     else error st "expected TABLE, RULE, ASSERTION or INDEX after CREATE")

@@ -281,8 +281,14 @@ let statement_str = function
   | Ast.Stmt_create_assertion (name, e) ->
     Printf.sprintf "create assertion %s check (%s)" name (expr_str e)
   | Ast.Stmt_drop_assertion name -> "drop assertion " ^ name
-  | Ast.Stmt_create_index { ix_name; ix_table; ix_column } ->
-    Printf.sprintf "create index %s on %s (%s)" ix_name ix_table ix_column
+  | Ast.Stmt_create_index { ix_name; ix_table; ix_column; ix_kind } ->
+    (* The default kind round-trips without a USING clause, so existing
+       WAL records and scripts reparse unchanged. *)
+    let using =
+      match ix_kind with `Hash -> "" | `Ordered -> " using ordered"
+    in
+    Printf.sprintf "create index %s on %s (%s)%s" ix_name ix_table ix_column
+      using
   | Ast.Stmt_drop_index name -> "drop index " ^ name
   | Ast.Stmt_show_tables -> "show tables"
   | Ast.Stmt_show_rules -> "show rules"

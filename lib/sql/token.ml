@@ -30,7 +30,7 @@ let keywords =
     "RULES"; "CALL"; "CASE"; "ELSE"; "END"; "COUNT"; "SUM"; "AVG"; "MIN";
     "UNION"; "EXCEPT"; "INTERSECT"; "ALL"; "ASSERTION";
     "MAX"; "SHOW"; "TABLES"; "ACTIVATE"; "DEACTIVATE"; "DESCRIBE"; "INDEX";
-    "EXPLAIN"; "NAN"; "INFINITY";
+    "EXPLAIN"; "NAN"; "INFINITY"; "USING";
   ]
 
 let keyword_set =

@@ -508,6 +508,124 @@ let rp_scenario =
   }
 
 (* ------------------------------------------------------------------ *)
+(* order-rollup: join-heavy order/lineitem rollup                      *)
+
+let order_rollup = "order-rollup"
+
+let or_items p = clamp 2 16 (p.Profile.keys / 4)
+let or_orders p = clamp 2 12 (p.Profile.keys / 8)
+
+let or_setup p =
+  let ni = or_items p and no = or_orders p in
+  let item_rows =
+    String.concat ", "
+      (List.init ni (fun i -> Printf.sprintf "(%d, %d)" i (1 + (i mod 7 * 3))))
+  in
+  let order_rows =
+    String.concat ", " (List.init no (fun i -> Printf.sprintf "(%d, 0, 0)" i))
+  in
+  [
+    "create table item (iid int primary key, price int)";
+    "create table ord (oid int primary key, total int, lines int)";
+    "create table lineitem (lid int, oid int, iid int, qty int)";
+    "create index li_lid on lineitem (lid)";
+    "create index li_oid on lineitem (oid)";
+    "create index item_iid on item (iid)";
+    "create index li_qty on lineitem (qty) using ordered";
+    Printf.sprintf "insert into item values %s" item_rows;
+    Printf.sprintf "insert into ord values %s" order_rows;
+    (* the rollup rules join the transition table against TWO base
+       tables: item (to price each line) and the updated ord itself —
+       the hash-join path in rule conditions carries this scenario *)
+    "create rule or_ins when inserted into lineitem then update ord set \
+     total = total + (select sum(l.qty * i.price) from inserted lineitem l, \
+     item i where l.iid = i.iid and l.oid = ord.oid), lines = lines + \
+     (select count(*) from inserted lineitem l where l.oid = ord.oid) where \
+     oid in (select oid from inserted lineitem)";
+    "create rule or_del when deleted from lineitem then update ord set total \
+     = total - (select sum(l.qty * i.price) from deleted lineitem l, item i \
+     where l.iid = i.iid and l.oid = ord.oid), lines = lines - (select \
+     count(*) from deleted lineitem l where l.oid = ord.oid) where oid in \
+     (select oid from deleted lineitem)";
+    "create rule or_upd when updated lineitem.qty then update ord set total \
+     = total + (select sum(n.qty * i.price) from new updated lineitem.qty n, \
+     item i where n.iid = i.iid and n.oid = ord.oid) - (select sum(o.qty * \
+     i.price) from old updated lineitem.qty o, item i where o.iid = i.iid \
+     and o.oid = ord.oid) where oid in (select oid from new updated \
+     lineitem.qty)";
+    (* the quantity cap: a range predicate over the ordered qty index
+       in a rule condition.  It rolls back rather than repairs — a rule
+       that rewrote qty here would fold into the very transition the
+       rollup rules read, making the totals order-dependent *)
+    "create rule or_cap when inserted into lineitem or updated lineitem.qty \
+     if exists (select * from lineitem where qty > 120) then rollback";
+  ]
+  @ pad_rules ~table:"lineitem" ~col:"lid" p.Profile.rule_density
+
+let or_txn s =
+  let p = Sampler.profile s in
+  let ni = or_items p and no = or_orders p in
+  let op () =
+    if Sampler.is_read s then
+      match Sampler.uniform s 3 with
+      | 0 ->
+        Printf.sprintf "select total, lines from ord where oid = %d"
+          (Sampler.key s mod no)
+      | 1 ->
+        (* a range retrieval over the ordered qty index *)
+        Printf.sprintf "select count(*) from lineitem where qty > %d"
+          (Sampler.uniform s 91)
+      | _ ->
+        (* an ad-hoc join, priced the same way the rules price lines *)
+        Printf.sprintf
+          "select sum(l.qty * i.price) from lineitem l, item i where l.iid = \
+           i.iid and l.oid = %d"
+          (Sampler.key s mod no)
+    else
+      match Sampler.uniform s 10 with
+      | 0 | 1 | 2 | 3 ->
+        Printf.sprintf "insert into lineitem values (%d, %d, %d, %d)"
+          (Sampler.key s) (Sampler.key s mod no) (Sampler.key s mod ni)
+          (1 + Sampler.uniform s 120)
+      | 4 | 5 | 6 ->
+        Printf.sprintf "update lineitem set qty = %s where lid = %d"
+          (delta "qty" (Sampler.uniform s 60 - 20))
+          (Sampler.key s)
+      | _ ->
+        Printf.sprintf "delete from lineitem where lid = %d" (Sampler.key s)
+  in
+  String.concat "; " (List.init (Sampler.txn_size s) (fun _ -> op ()))
+
+let or_scenario =
+  {
+    Scenario.sc_name = order_rollup;
+    sc_doc =
+      "join-heavy order/lineitem rollup: rules join each transition table \
+       against the item and ord base tables to maintain priced per-order \
+       totals, with a range-predicate quantity cap";
+    sc_tables = [ "item"; "ord"; "lineitem" ];
+    sc_setup = or_setup;
+    sc_txn = or_txn;
+    sc_invariants =
+      [
+        Scenario.zero_count "line-counts-match"
+          ~sql:
+            "select count(*) from ord where lines <> (select count(*) from \
+             lineitem l where l.oid = ord.oid)";
+        Scenario.zero_count "empty-orders-have-zero-total"
+          ~sql:"select count(*) from ord where lines = 0 and total <> 0";
+        Scenario.zero_count "totals-equal-priced-join"
+          ~sql:
+            "select count(*) from ord where lines > 0 and total <> (select \
+             sum(l.qty * i.price) from lineitem l, item i where l.iid = \
+             i.iid and l.oid = ord.oid)";
+        Scenario.zero_count "quantities-capped"
+          ~sql:"select count(*) from lineitem where qty > 120";
+      ];
+    sc_config = Engine.default_config;
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let registered = ref false
 
@@ -515,5 +633,12 @@ let register_all () =
   if not !registered then begin
     registered := true;
     List.iter Scenario.register
-      [ tq_scenario; at_scenario; mv_scenario; rc_scenario; rp_scenario ]
+      [
+        tq_scenario;
+        at_scenario;
+        mv_scenario;
+        rc_scenario;
+        rp_scenario;
+        or_scenario;
+      ]
   end

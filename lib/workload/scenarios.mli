@@ -1,6 +1,6 @@
 (** The built-in scenario corpus.
 
-    Five workloads covering the shapes the paper motivates production
+    Six workloads covering the shapes the paper motivates production
     rules with — integrity enforcement, auditing, derived data — plus
     the richer-than-rollback reactions of the database-repairs line of
     work:
@@ -20,6 +20,10 @@
     - {b repair}: constraint {e repair} policies — salary bounds
       enforced by clamping rules instead of rollback, including
       re-repair when the bounds themselves move.
+    - {b order-rollup}: a join-heavy order/lineitem rollup.  Rules join
+      each transition table against two base tables (item for prices,
+      ord for the running totals), so the cost-based planner's hash
+      joins and the ordered-index range clamp carry the workload.
 
     Each scenario declares machine-checkable invariants the runner
     verifies between transactions and after every crash recovery. *)
@@ -29,6 +33,7 @@ val audit_trail : string
 val matview : string
 val ref_cascade : string
 val repair : string
+val order_rollup : string
 
 val register_all : unit -> unit
 (** Register the corpus into {!Scenario}'s registry.  Idempotent. *)

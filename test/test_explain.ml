@@ -20,7 +20,8 @@ let indexed_system () =
     system
       "create table emp (name string, emp_no int, salary float);\n\
        create table audit_log (name string);\n\
-       create index emp_no_ix on emp (emp_no)"
+       create index emp_no_ix on emp (emp_no);\n\
+       create index emp_salary_ix on emp (salary) using ordered"
   in
   run s "insert into emp values ('ada', 1, 100.0), ('bob', 2, 200.0), \
          ('cyd', 3, 300.0)";
@@ -57,6 +58,8 @@ let explain_statements =
   [
     "select * from emp where emp_no = 2";
     "select name from emp where salary > 150.0";
+    "select name from emp where salary between 100.0 and 250.0";
+    "select name from emp where name like 'a%'";
     "select * from emp e, audit_log a where e.name = a.name";
     "update emp set salary = salary + 1.0 where emp_no = 1";
     "delete from emp where emp_no in (2, 3)";
@@ -64,14 +67,14 @@ let explain_statements =
     "insert into audit_log values ('zed')";
   ]
 
-(* For each statement: EXPLAIN first, count the scan/probe entries in
-   the plan, then execute the real statement and compare against the
-   deltas of the engine's own [seq_scans]/[index_probes] counters.  The
-   statements deliberately have no subqueries, so the top-level plan
-   accounts for every base-table access the executor makes.  Run once
-   per evaluator: the compiled planner must tell the truth about the
-   compiled executor exactly as the interpreting planner does about
-   the interpreter. *)
+(* For each statement: EXPLAIN first, count the scan/probe/range-probe
+   entries and hash-join annotations in the plan, then execute the real
+   statement and compare against the deltas of the engine's own
+   counters.  The statements deliberately have no subqueries, so the
+   top-level plan accounts for every base-table access the executor
+   makes.  Run once per evaluator: the compiled planner must tell the
+   truth about the compiled executor exactly as the interpreting
+   planner does about the interpreter. *)
 let explain_matches_executor ~compiled () =
   with_compile compiled (fun () ->
       let s = indexed_system () in
@@ -79,25 +82,29 @@ let explain_matches_executor ~compiled () =
       List.iter
         (fun sql ->
           let plans = explained s ("explain " ^ sql) in
+          let count f = List.length (List.filter f plans) in
           let planned_scans =
-            List.length
-              (List.filter
-                 (fun p ->
-                   match p.Eval.sp_path with Eval.Seq_scan _ -> true | _ -> false)
-                 plans)
+            count (fun p ->
+                match p.Eval.sp_path with Eval.Seq_scan _ -> true | _ -> false)
           in
           let planned_probes =
-            List.length
-              (List.filter
-                 (fun p ->
-                   match p.Eval.sp_path with
-                   | Eval.Index_probe _ -> true
-                   | _ -> false)
-                 plans)
+            count (fun p ->
+                match p.Eval.sp_path with
+                | Eval.Index_probe _ -> true
+                | _ -> false)
           in
+          let planned_ranges =
+            count (fun p ->
+                match p.Eval.sp_path with
+                | Eval.Range_probe _ -> true
+                | _ -> false)
+          in
+          let planned_joins = count (fun p -> p.Eval.sp_join <> None) in
           let st = Engine.stats eng in
           let scans0 = st.Engine.seq_scans
-          and probes0 = st.Engine.index_probes in
+          and probes0 = st.Engine.index_probes
+          and ranges0 = st.Engine.range_probes
+          and builds0 = st.Engine.hash_join_builds in
           run s sql;
           Alcotest.(check int)
             (sql ^ ": seq scans")
@@ -106,7 +113,15 @@ let explain_matches_executor ~compiled () =
           Alcotest.(check int)
             (sql ^ ": index probes")
             planned_probes
-            (st.Engine.index_probes - probes0))
+            (st.Engine.index_probes - probes0);
+          Alcotest.(check int)
+            (sql ^ ": range probes")
+            planned_ranges
+            (st.Engine.range_probes - ranges0);
+          Alcotest.(check int)
+            (sql ^ ": hash join builds")
+            planned_joins
+            (st.Engine.hash_join_builds - builds0))
         explain_statements)
 
 (* The two planners must also agree with EACH OTHER, statement by
@@ -146,16 +161,68 @@ let test_plans_agree_across_evaluators () =
 let test_explain_names_the_index () =
   let s = indexed_system () in
   match explained s "explain select * from emp where emp_no = 2" with
-  | [ { Eval.sp_binding = "emp"; sp_path = Eval.Index_probe p } ] ->
+  | [ { Eval.sp_binding = "emp"; sp_path = Eval.Index_probe p; _ } ] ->
     Alcotest.(check (option string)) "index name" (Some "emp_no_ix") p.index;
     Alcotest.(check string) "column" "emp_no" p.column;
     Alcotest.(check int) "matches" 1 p.matches;
+    Alcotest.(check (option int)) "estimate" (Some 1) p.est;
     Alcotest.(check (option int)) "cardinality" (Some 3) p.rows;
     Alcotest.(check bool) "conjunct mentions the column" true
       (String.length p.conjunct > 0)
   | plans ->
     Alcotest.failf "expected one index probe, got: %s"
       (String.concat "; " (List.map Eval.describe_source_plan plans))
+
+(* A range predicate over an ordered index plans (and executes) as a
+   range probe, with the cost-model estimate reported. *)
+let test_explain_range_probe () =
+  let s = indexed_system () in
+  match
+    explained s
+      "explain select name from emp where salary between 150.0 and 250.0"
+  with
+  | [ { Eval.sp_binding = "emp"; sp_path = Eval.Range_probe p; _ } ] ->
+    Alcotest.(check (option string))
+      "index name" (Some "emp_salary_ix") p.index;
+    Alcotest.(check string) "column" "salary" p.column;
+    Alcotest.(check int) "matches" 1 p.matches;
+    (* est(range) = (nrows + 2) / 3 with nrows = 3 *)
+    Alcotest.(check (option int)) "estimate" (Some 1) p.est;
+    Alcotest.(check (option int)) "cardinality" (Some 3) p.rows
+  | plans ->
+    Alcotest.failf "expected one range probe, got: %s"
+      (String.concat "; " (List.map Eval.describe_source_plan plans))
+
+(* The hash-join annotation and its executor counters, per evaluator:
+   one build for the joined source, one probe per partial row of the
+   frame under construction. *)
+let test_hash_join_counters ~compiled () =
+  with_compile compiled (fun () ->
+      let s = indexed_system () in
+      let eng = System.engine s in
+      run s "insert into audit_log values ('ada'), ('bob')";
+      let join_sql = "select * from emp e, audit_log a where e.name = a.name" in
+      (match explained s ("explain " ^ join_sql) with
+      | [ e_plan; a_plan ] ->
+        Alcotest.(check bool)
+          "first source joins nothing" true
+          (e_plan.Eval.sp_join = None);
+        (match a_plan.Eval.sp_join with
+        | Some j ->
+          Alcotest.(check string) "joined with" "e" j.Eval.jp_with;
+          Alcotest.(check bool) "conjunct rendered" true
+            (String.length j.Eval.jp_conjunct > 0)
+        | None -> Alcotest.fail "expected a hash-join annotation")
+      | plans ->
+        Alcotest.failf "expected two source plans, got %d" (List.length plans));
+      let st = Engine.stats eng in
+      let builds0 = st.Engine.hash_join_builds
+      and probes0 = st.Engine.hash_join_probes in
+      let r = rows s join_sql in
+      Alcotest.(check int) "joined rows" 2 (List.length r);
+      Alcotest.(check int) "one build" 1 (st.Engine.hash_join_builds - builds0);
+      Alcotest.(check int) "one probe per emp row" 3
+        (st.Engine.hash_join_probes - probes0))
 
 let test_explain_does_not_execute () =
   let s = indexed_system () in
@@ -183,7 +250,7 @@ let test_explain_rule () =
      deleted emp where salary > 100.0) then insert into audit_log select \
      name from deleted emp";
   (match Engine.explain_rule (System.engine s) "audit" with
-  | [ (sql, [ { Eval.sp_binding = "emp"; sp_path = Eval.Materialized m } ]) ]
+  | [ (sql, [ { Eval.sp_binding = "emp"; sp_path = Eval.Materialized m; _ } ]) ]
     ->
     Alcotest.(check bool) "condition text" true
       (String.length sql > 0);
@@ -483,6 +550,11 @@ let suite =
       test_plans_agree_across_evaluators;
     Alcotest.test_case "explain names the index" `Quick
       test_explain_names_the_index;
+    Alcotest.test_case "explain range probe" `Quick test_explain_range_probe;
+    Alcotest.test_case "hash join counters (compiled)" `Quick
+      (test_hash_join_counters ~compiled:true);
+    Alcotest.test_case "hash join counters (interpreted)" `Quick
+      (test_hash_join_counters ~compiled:false);
     Alcotest.test_case "explain does not execute" `Quick
       test_explain_does_not_execute;
     Alcotest.test_case "explain unknown table" `Quick test_explain_unknown_table;

@@ -31,7 +31,9 @@ let two_col_schema name a b =
 
 let test_maintenance () =
   let db = Database.create_table Database.empty (two_col_schema "t" "a" "b") in
-  let db = Database.create_index db ~ix_name:"t_a" ~table:"t" ~column:"a" in
+  let db =
+    Database.create_index db ~ix_name:"t_a" ~table:"t" ~column:"a" ~kind:`Hash
+  in
   let db, h1 = Database.insert db "t" [| vi 1; vi 10 |] in
   let db, h2 = Database.insert db "t" [| vi 1; vi 20 |] in
   let db, h3 = Database.insert db "t" [| vi 2; vi 30 |] in
@@ -55,12 +57,89 @@ let test_maintenance () =
   Alcotest.(check int) "float probe hits int key" 2
     (List.length (probe db (vf 1.0)))
 
+let test_ordered_range_maintenance () =
+  let db = Database.create_table Database.empty (two_col_schema "t" "a" "b") in
+  let db =
+    Database.create_index db ~ix_name:"t_a" ~table:"t" ~column:"a"
+      ~kind:`Ordered
+  in
+  let db, h1 = Database.insert db "t" [| vi 1; vi 10 |] in
+  let db, h2 = Database.insert db "t" [| vi 3; vi 20 |] in
+  let db, h3 = Database.insert db "t" [| vi 5; vi 30 |] in
+  let db, _ = Database.insert db "t" [| vnull; vi 40 |] in
+  let range db ~lower ~upper =
+    match Database.range_probe db ~table:"t" ~column:"a" ~lower ~upper with
+    | Some pairs -> List.map fst pairs
+    | None -> Alcotest.fail "expected an ordered index"
+  in
+  let check msg expected got =
+    Alcotest.(check bool) msg true (got = expected)
+  in
+  check "a >= 1 in handle order" [ h1; h2; h3 ]
+    (range db ~lower:(Some (vi 1, true)) ~upper:None);
+  check "a > 1 excludes the bound" [ h2; h3 ]
+    (range db ~lower:(Some (vi 1, false)) ~upper:None);
+  check "a <= 3" [ h1; h2 ]
+    (range db ~lower:None ~upper:(Some (vi 3, true)));
+  check "a < 3" [ h1 ] (range db ~lower:None ~upper:(Some (vi 3, false)));
+  check "2 <= a <= 5" [ h2; h3 ]
+    (range db ~lower:(Some (vi 2, true)) ~upper:(Some (vi 5, true)));
+  check "unbounded = all non-null keys" [ h1; h2; h3 ]
+    (range db ~lower:None ~upper:None);
+  (* NULL keys are never indexed and NULL bounds select nothing *)
+  check "null bound selects nothing" []
+    (range db ~lower:(Some (vnull, true)) ~upper:None);
+  (* cross-kind numeric bounds agree with SQL comparison semantics *)
+  check "float bound over int keys" [ h2; h3 ]
+    (range db ~lower:(Some (vf 2.5, false)) ~upper:None);
+  (* a type-incompatible bound refuses, so the scan raises the error *)
+  Alcotest.(check bool) "string bound refused" true
+    (Database.range_probe db ~table:"t" ~column:"a"
+       ~lower:(Some (vs "x", true))
+       ~upper:None
+    = None);
+  (* equality probes still work over the ordered representation *)
+  (match Database.probe db ~table:"t" ~column:"a" [ vi 3 ] with
+  | Some pairs -> check "equality probe" [ h2 ] (List.map fst pairs)
+  | None -> Alcotest.fail "expected a usable index");
+  (* a hash index over the other column answers no range probes *)
+  let db =
+    Database.create_index db ~ix_name:"t_b" ~table:"t" ~column:"b" ~kind:`Hash
+  in
+  Alcotest.(check bool) "hash index has no range capability" true
+    (Database.range_probe db ~table:"t" ~column:"b"
+       ~lower:(Some (vi 0, true))
+       ~upper:None
+    = None);
+  (* maintenance: delete and update keep the ordered index current *)
+  let db = Database.delete db h2 in
+  let db = Database.update db h3 [| vi 2; vi 30 |] in
+  check "after delete and update" [ h1; h3 ]
+    (range db ~lower:(Some (vi 0, true)) ~upper:None)
+
+let test_like_prefix_bounds () =
+  Alcotest.(check bool) "plain prefix" true
+    (Index.like_prefix "ab%" = Some ("ab", Some "ac"));
+  Alcotest.(check bool) "underscore also ends the prefix" true
+    (Index.like_prefix "ab_c" = Some ("ab", Some "ac"));
+  Alcotest.(check bool) "no wildcard: exact-match range" true
+    (Index.like_prefix "ab" = Some ("ab", Some "ac"));
+  Alcotest.(check bool) "no literal prefix" true (Index.like_prefix "%x" = None);
+  Alcotest.(check bool) "empty pattern" true (Index.like_prefix "" = None);
+  (* 0xff bytes cannot be incremented: the range is open above *)
+  Alcotest.(check bool) "all-0xff prefix is open above" true
+    (Index.like_prefix "\xff\xff%" = Some ("\xff\xff", None));
+  Alcotest.(check bool) "trailing 0xff increments the earlier byte" true
+    (Index.like_prefix "a\xff%" = Some ("a\xff", Some "b"))
+
 let test_snapshot_consistency () =
   (* a retained pre-transition state must answer probes with its own
      rows, not the current ones — this is what rollback and transition
      tables rely on *)
   let db = Database.create_table Database.empty (two_col_schema "t" "a" "b") in
-  let db = Database.create_index db ~ix_name:"t_a" ~table:"t" ~column:"a" in
+  let db =
+    Database.create_index db ~ix_name:"t_a" ~table:"t" ~column:"a" ~kind:`Hash
+  in
   let db, h1 = Database.insert db "t" [| vi 5; vi 0 |] in
   let snapshot = db in
   let db, _ = Database.insert db "t" [| vi 5; vi 1 |] in
@@ -77,7 +156,9 @@ let test_snapshot_consistency () =
 
 let test_probe_incompatible_type () =
   let db = Database.create_table Database.empty (two_col_schema "t" "a" "b") in
-  let db = Database.create_index db ~ix_name:"t_a" ~table:"t" ~column:"a" in
+  let db =
+    Database.create_index db ~ix_name:"t_a" ~table:"t" ~column:"a" ~kind:`Hash
+  in
   let db, _ = Database.insert db "t" [| vi 1; vi 2 |] in
   (* a string probe against an int column must refuse (None), so the
      scan path gets to raise its type error *)
@@ -127,12 +208,21 @@ let test_probe_equals_filtered_scan () =
   (* concrete spot check of the planner contract: identical rows in
      identical order, whatever the predicate shape *)
   let setup indexed =
-    let s = system "create table t (a int, b int)" in
-    if indexed then run s "create index t_a on t (a)";
+    let s =
+      system "create table t (a int, b int);\ncreate table sv (name string, v int)"
+    in
+    if indexed then begin
+      run s "create index t_a on t (a)";
+      run s "create index t_b on t (b) using ordered";
+      run s "create index sv_name on sv (name) using ordered"
+    end;
     run s
       "insert into t values (1, 10); insert into t values (2, 20); insert \
        into t values (1, 30); insert into t values (3, 40); insert into t \
        values (null, 50)";
+    run s
+      "insert into sv values ('ada', 1); insert into sv values ('adb', 2); \
+       insert into sv values ('bob', 3); insert into sv values (null, 4)";
     s
   in
   let queries =
@@ -145,6 +235,23 @@ let test_probe_equals_filtered_scan () =
       "select b from t where a = 1 and b > 15";
       "select b from t where a in (select a from t where b = 40)";
       "select t1.b, t2.b from t t1, t t2 where t1.a = 2 and t2.a = t1.a";
+      (* range shapes over the ordered index, including NULL rows and
+         NULL bounds *)
+      "select a from t where b > 15";
+      "select a from t where b >= 30";
+      "select a from t where 30 > b";
+      "select a from t where b <= 20";
+      "select a from t where b < null";
+      "select a from t where b between 15 and 45";
+      "select a from t where b between 45 and 15";
+      "select a from t where b > 15 and a = 1";
+      "select a from t where b > (select 10 + 10)";
+      (* prefix LIKE over an ordered string index *)
+      "select v from sv where name like 'ad%'";
+      "select v from sv where name like 'ad_'";
+      "select v from sv where name like '%b'";
+      "select v from sv where name like 'bob'";
+      "select v from sv where name like null";
     ]
   in
   let s_ix = setup true and s_plain = setup false in
@@ -156,10 +263,11 @@ let test_probe_equals_filtered_scan () =
 (* ------------------------------------------------------------------ *)
 (* The differential property                                           *)
 
-(* Total index probes observed across all property executions; a
-   follow-up test asserts the optimized side actually probed, so the
+(* Total index/range probes observed across all property executions;
+   follow-up tests assert the optimized side actually probed, so the
    property cannot pass vacuously. *)
 let probes_seen = ref 0
+let ranges_seen = ref 0
 
 let schema_sql =
   "create table t (a int, b int);\n\
@@ -192,11 +300,12 @@ let gen_term st =
 
 (* One operation as SQL.  Predicates are deliberately heavy on the
    sargable shapes the planner recognizes — equality, IN lists, IN
-   subqueries — over both indexed (a) and unindexed (b, c) columns,
-   and updates rewrite the indexed column itself. *)
+   subqueries, range comparisons and BETWEEN — over indexed columns
+   (hash on a, ordered on b) and unindexed ones (c), and updates
+   rewrite the indexed columns themselves. *)
 let gen_op st =
   let open QCheck.Gen in
-  match int_bound 11 st with
+  match int_bound 14 st with
   | 0 | 1 ->
     Printf.sprintf "insert into t values (%s, %s)" (gen_term st) (gen_term st)
   | 2 | 3 ->
@@ -220,6 +329,16 @@ let gen_op st =
     (* occasionally large enough to trip the rollback rule r5 *)
     Printf.sprintf "update t set b = %d where a = %d"
       (if int_bound 3 st = 0 then 200 else gen_small st)
+      (gen_small st)
+  | 11 -> Printf.sprintf "select a, b from t where b < %s" (gen_term st)
+  | 12 ->
+    Printf.sprintf "select a, b from t where b between %d and %d"
+      (gen_small st) (gen_small st)
+  | 13 ->
+    (* a range over the ordered column combined with an equality over
+       the hash column: the cost model must pick one, the oracle the
+       other shape *)
+    Printf.sprintf "delete from t where b >= %d and a = %d" (gen_small st)
       (gen_small st)
   | _ ->
     Printf.sprintf "insert into u values (99, %d); insert into u values \
@@ -245,16 +364,22 @@ let make_system ~indexed =
   let s = system ~config schema_sql in
   if indexed then begin
     run s "create index t_a on t (a)";
+    run s "create index t_b on t (b) using ordered";
     run s "create index u_a on u (a)"
   end;
   List.iter (run s) rules_sql;
   Engine.set_tracing (System.engine s) true;
   s
 
-let with_pushdown flag f =
-  let saved = !Eval.predicate_pushdown in
-  Eval.predicate_pushdown := flag;
-  Fun.protect ~finally:(fun () -> Eval.predicate_pushdown := saved) f
+let with_planner ~pushdown ~cost f =
+  let saved_p = !Eval.predicate_pushdown and saved_c = !Eval.cost_model in
+  Eval.predicate_pushdown := pushdown;
+  Eval.cost_model := cost;
+  Fun.protect
+    ~finally:(fun () ->
+      Eval.predicate_pushdown := saved_p;
+      Eval.cost_model := saved_c)
+    f
 
 (* Execute one block and normalize everything observable about it:
    outcome or error string, and the produced select results. *)
@@ -281,18 +406,27 @@ let check_same_result label a b =
   | _ ->
     Alcotest.failf "%s: one side errored and the other did not" label
 
-let prop_index_equivalence =
+(* The optimized side runs with pushdown on and the cost model either
+   on (ranking over equality/range/prefix shapes) or off (the
+   historical first-equality-match planner, the oracle the acceptance
+   criteria call for); the plain side always scans. *)
+let prop_index_equivalence ~cost =
   QCheck.Test.make
-    ~name:"indexes on = indexes off (states, traces, results)" ~count:80
-    arb_txns
+    ~name:
+      (Printf.sprintf "indexes on = indexes off (cost model %s)"
+         (if cost then "on" else "off"))
+    ~count:80 arb_txns
     (fun blocks ->
       let s_ix = make_system ~indexed:true in
       let s_plain = make_system ~indexed:false in
       List.iter
         (fun block ->
-          let r_ix = with_pushdown true (fun () -> run_block s_ix block) in
+          let r_ix =
+            with_planner ~pushdown:true ~cost (fun () -> run_block s_ix block)
+          in
           let r_plain =
-            with_pushdown false (fun () -> run_block s_plain block)
+            with_planner ~pushdown:false ~cost:true (fun () ->
+                run_block s_plain block)
           in
           check_same_result "block" r_ix r_plain;
           (* the trace of each transaction must match event for event;
@@ -316,19 +450,26 @@ let prop_index_equivalence =
         "same rule firings" st_plain.Engine.rule_firings
         st_ix.Engine.rule_firings;
       probes_seen := !probes_seen + st_ix.Engine.index_probes;
+      ranges_seen := !ranges_seen + st_ix.Engine.range_probes;
       true)
 
-(* Runs after the property (Alcotest executes a suite in order): the
+(* Runs after the properties (Alcotest executes a suite in order): the
    equivalence above is meaningless if the optimized side never took
-   the probe path. *)
+   the probe paths. *)
 let test_probes_actually_happened () =
   Alcotest.(check bool)
     (Printf.sprintf "probes were exercised (%d seen)" !probes_seen)
-    true (!probes_seen > 0)
+    true (!probes_seen > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "range probes were exercised (%d seen)" !ranges_seen)
+    true (!ranges_seen > 0)
 
 let suite =
   [
     Alcotest.test_case "index maintenance" `Quick test_maintenance;
+    Alcotest.test_case "ordered range maintenance" `Quick
+      test_ordered_range_maintenance;
+    Alcotest.test_case "like prefix bounds" `Quick test_like_prefix_bounds;
     Alcotest.test_case "snapshot consistency" `Quick test_snapshot_consistency;
     Alcotest.test_case "incompatible probes refused" `Quick
       test_probe_incompatible_type;
@@ -339,7 +480,8 @@ let suite =
       test_stats_count_probes;
     Alcotest.test_case "probe = filtered scan" `Quick
       test_probe_equals_filtered_scan;
-    qtest prop_index_equivalence;
+    qtest (prop_index_equivalence ~cost:true);
+    qtest (prop_index_equivalence ~cost:false);
     Alcotest.test_case "differential run exercised probes" `Quick
       test_probes_actually_happened;
   ]

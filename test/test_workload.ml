@@ -118,13 +118,14 @@ let test_registry () =
   Scenarios.register_all ();
   (* idempotent *)
   Alcotest.(check (list string))
-    "the five scenarios, in registration order"
+    "the six scenarios, in registration order"
     [
       Scenarios.tenant_quota;
       Scenarios.audit_trail;
       Scenarios.matview;
       Scenarios.ref_cascade;
       Scenarios.repair;
+      Scenarios.order_rollup;
     ]
     (Scenario.names ());
   (match Scenario.get "no-such-scenario" with
