@@ -26,6 +26,7 @@
      E18 (discrimination)    rule-count sweep: indexed vs linear scan
      E19 (concurrency)       server commit throughput vs client count
      E20 (cost planner)      hash join and range probes at 10^4..10^6 rows
+     E21 (prepared stmts)    PREPARE/EXECUTE vs re-parse + re-compile
 
    Run with:  dune exec bench/main.exe            (all experiments)
               dune exec bench/main.exe -- E2 E3   (a subset)            *)
@@ -1615,12 +1616,149 @@ let e20 () =
     table_rows;
   write_e20_json "BENCH_PR9.json" !results
 
+(* ------------------------------------------------------------------ *)
+(* E21: the prepared-statement pipeline.  Three arms over two statement
+   sizes (a ~30-byte point select and a ~1 KB select whose predicate
+   carries a large IN list): parse-only through the streaming lexer,
+   parse+compile against the fixture catalog, and end-to-end EXECUTE of
+   the prepared form — the EXECUTE text stays tiny regardless of the
+   prepared body's size, and the compiled plan is served from the
+   generation-keyed cache, so its cost is bind + run rather than
+   re-parse + re-compile.  Parsing is microseconds, so arms are timed
+   directly over a fixed iteration count, as in E19/E20.               *)
+
+let e21_iters = if tiny then 500 else 20_000
+
+(* pad the body with an IN list until the statement is ~1 KB; the
+   [param] variant swaps the trailing range for `?` placeholders so
+   the prepared form has the same shape and length *)
+let e21_big_stmt ~param =
+  let buf = Buffer.create 1200 in
+  Buffer.add_string buf
+    "select a, b, (a + b) s1, (a * b) s2, (b - a) s3 from t where a in (";
+  let i = ref 0 in
+  while Buffer.length buf < 980 do
+    if !i > 0 then Buffer.add_string buf ", ";
+    Buffer.add_string buf (string_of_int (100000 + !i));
+    incr i
+  done;
+  Buffer.add_string buf
+    (if param then ") and b between ? and ?"
+     else ") and b between 10 and 20");
+  Buffer.contents buf
+
+let e21_cases =
+  [
+    ( "small",
+      "select a from t where a = 42",
+      "select a from t where a = ?",
+      "execute p21_small (42)" );
+    ("1kb", e21_big_stmt ~param:false, e21_big_stmt ~param:true,
+     "execute p21_1kb (10, 20)");
+  ]
+
+let e21_system () =
+  let s = System.create () in
+  ignore_exec s "create table t (a int, b int)";
+  ignore
+    (Engine.execute_block (System.engine s)
+       [ insert_op "t" (List.init 4 (fun i -> [ vi i; vi (10 + i) ])) ]);
+  List.iter
+    (fun (name, _, prep, _) ->
+      ignore_exec s (Printf.sprintf "prepare p21_%s as %s" name prep))
+    e21_cases;
+  s
+
+let e21_timed_ns f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to e21_iters do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int e21_iters
+
+let write_e21_json path rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"experiment\": \"E21\",\n  \"description\": \"prepared \
+        statements: parse-only vs parse+compile vs EXECUTE against the \
+        generation-keyed statement cache, at ~30 B and ~1 KB statement \
+        sizes\",\n  \"unit\": \"ns_per_op\",\n  \"tiny\": %b,\n  \
+        \"results\": [\n"
+       tiny);
+  List.iteri
+    (fun i (size, bytes, arm, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"size\": \"%s\", \"bytes\": %d, \"arm\": \"%s\", \
+            \"ns_per_op\": %.1f, \"iters\": %d}%s\n"
+           size bytes arm ns e21_iters
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nresults written to %s\n" path
+
+let e21 () =
+  print_header "E21" "prepared statements: PREPARE/EXECUTE vs re-parse"
+    "EXECUTE of a prepared 1 KB statement costs bind + cached plan, \
+     independent of body size; unprepared execution re-pays lexing, \
+     parsing and compilation on every call";
+  let s = e21_system () in
+  let db = Engine.database (System.engine s) in
+  let results = ref [] in
+  let table_rows =
+    List.map
+      (fun (size, literal, _, exec_sql) ->
+        let bytes = String.length literal in
+        (* warm the execute path so the cached-plan arm measures hits *)
+        ignore (System.exec_one s exec_sql);
+        let parse_ns =
+          e21_timed_ns (fun () ->
+              ignore (Parser.parse_statement_string literal))
+        in
+        let compile_ns =
+          e21_timed_ns (fun () ->
+              match Parser.parse_statement_string literal with
+              | Ast.Stmt_op op -> ignore (Sqlf.Dml.compile_op db op)
+              | _ -> failwith "expected DML")
+        in
+        let exec_ns =
+          e21_timed_ns (fun () -> ignore (System.exec_one s exec_sql))
+        in
+        results :=
+          !results
+          @ [
+              (size, bytes, "parse_only", parse_ns);
+              (size, bytes, "parse_compile", compile_ns);
+              (size, bytes, "execute_cached", exec_ns);
+            ];
+        [
+          size;
+          string_of_int bytes ^ " B";
+          pretty_ns parse_ns;
+          pretty_ns compile_ns;
+          pretty_ns exec_ns;
+          ratio compile_ns exec_ns;
+        ])
+      e21_cases
+  in
+  print_table
+    [
+      "stmt"; "bytes"; "parse only"; "parse+compile"; "execute (cached)";
+      "speedup";
+    ]
+    table_rows;
+  write_e21_json "BENCH_PR10.json" !results
+
 let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20);
+    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
   ]
 
 let () =

@@ -1,0 +1,33 @@
+create table emp (name string, emp_no int, salary float);
+insert into emp values ('ada', 1, 100.0), ('bob', 2, 200.0), ('cyd', 3, 300.0);
+prepare by_no as select name, salary from emp where emp_no = ?;
+prepare raise as update emp set salary = salary + ? where emp_no = ?;
+prepare headcount as select count(*) from emp;
+.prepared
+execute by_no (1);
+execute by_no (2);
+execute raise (50.0, 1);
+execute by_no (1);
+execute headcount;
+execute by_no (1, 2);
+execute missing (1);
+prepare by_no as select * from emp;
+select * from emp where salary > ?;
+explain select name from emp where emp_no = ?;
+prepare bad as create table t2 (a int);
+prepare bad as create rule r when inserted into emp then delete from emp where salary > ?;
+explain select name from emp where emp_no = 5;
+select name from emp where emp_no = 5;
+explain select name from emp where emp_no = 5;
+create index emp_no_ix on emp (emp_no);
+explain select name from emp where emp_no = 5;
+execute by_no (2);
+execute by_no (2);
+.stats
+deallocate by_no;
+execute by_no (2);
+.prepared
+deallocate all;
+.prepared
+deallocate missing;
+.q

@@ -64,12 +64,17 @@ let print_stats system =
      hash join builds:      %d\n\
      hash join probes:      %d\n\
      candidates considered: %d\n\
-     rules skipped:         %d\n"
+     rules skipped:         %d\n\
+     stmt cache hits:       %d\n\
+     stmt cache misses:     %d\n\
+     stmt invalidations:    %d\n"
     st.Engine.transactions st.Engine.transitions st.Engine.rule_firings
     st.Engine.conditions_evaluated st.Engine.rollbacks st.Engine.aborts
     st.Engine.seq_scans st.Engine.index_probes st.Engine.range_probes
     st.Engine.hash_join_builds st.Engine.hash_join_probes
     st.Engine.candidates_considered st.Engine.rules_skipped
+    st.Engine.stmt_cache_hits st.Engine.stmt_cache_misses
+    st.Engine.stmt_cache_invalidations
 
 (* The planner's view of one table: row count and, per index, the
    incrementally-maintained distinct-key count that drives the cost
@@ -137,6 +142,22 @@ let print_report system =
       print_endline "(times not collected; \\clock on enables timing)"
   end
 
+(* The session's prepared statements, with their parameter counts and
+   bodies — the registry PREPARE/EXECUTE/DEALLOCATE manage. *)
+let print_prepared system =
+  let eng = System.engine system in
+  match Engine.prepared_names eng with
+  | [] -> print_endline "(no prepared statements)"
+  | names ->
+    List.iter
+      (fun name ->
+        let p = Engine.find_prepared eng name in
+        Printf.printf "%s (%d param%s): %s\n" name
+          (Engine.prepared_nparams p)
+          (if Engine.prepared_nparams p = 1 then "" else "s")
+          (Sqlf.Pretty.op_str (Engine.prepared_op p)))
+      names
+
 let help_text =
   "meta-commands ('\\' and '.' prefixes are equivalent):\n\
    \\q               quit\n\
@@ -148,6 +169,7 @@ let help_text =
    \\trace dump F    write the trace as JSON Lines to file F ('-' = stdout)\n\
    \\clock on        timestamp traces and time rules (\\clock off disables)\n\
    \\report          per-rule metrics (considered/fired/times/effect tuples)\n\
+   \\prepared        list prepared statements (name, parameter count, body)\n\
    \\compile         show whether the compiling evaluator is in use\n\
    \\compile on      evaluate via compiled positional closures (default)\n\
    \\compile off     evaluate via the tree-walking interpreter\n\
@@ -199,6 +221,7 @@ let interactive ?durable system =
           Engine.set_clock (System.engine system) None;
           print_endline "clock disabled"
         | [ "report" ] -> print_report system
+        | [ "prepared" ] -> print_prepared system
         | [ "compile" ] ->
           Printf.printf "expression compilation is %s\n"
             (if !Sqlf.Compile.enabled then "on" else "off")

@@ -138,18 +138,31 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List the registered scenarios.")
     Term.(const run $ const ())
 
+let prepared_arg =
+  Arg.(
+    value & flag
+    & info [ "prepared" ]
+        ~doc:
+          "Also drive the stream through PREPARE/EXECUTE: literals are \
+           lifted into positional parameters, each distinct statement shape \
+           is prepared once, and the prepared twin must match direct \
+           execution transaction by transaction.")
+
 let run_cmd =
-  let run names profile =
+  let run names profile prepared =
     catching (fun () ->
         List.iter
-          (fun sc -> report (Runner.run_short sc profile))
+          (fun sc ->
+            report (Runner.run_short sc profile);
+            if prepared then
+              report (Runner.run_prepared_differential sc profile))
           (resolve names))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Drive scenarios in memory with differential and invariant checks.")
-    Term.(const run $ scenarios_arg $ profile_term)
+    Term.(const run $ scenarios_arg $ profile_term $ prepared_arg)
 
 let data_dir_arg =
   Arg.(

@@ -23,6 +23,7 @@ module Ast = Sqlf.Ast
 module Parser = Sqlf.Parser
 module Pretty = Sqlf.Pretty
 module Eval = Sqlf.Eval
+module Compile = Sqlf.Compile
 module Effect = Rules.Effect
 module Trans_info = Rules.Trans_info
 module Engine = Rules.Engine
@@ -74,7 +75,10 @@ module System = struct
       true
     | Ast.Stmt_begin | Ast.Stmt_commit | Ast.Stmt_rollback
     | Ast.Stmt_process_rules | Ast.Stmt_op _ | Ast.Stmt_show_tables
-    | Ast.Stmt_show_rules | Ast.Stmt_explain _ | Ast.Stmt_describe _ ->
+    | Ast.Stmt_show_rules | Ast.Stmt_explain _ | Ast.Stmt_describe _
+    (* prepared-statement management is session state, not catalog
+       state: never logged, never replayed *)
+    | Ast.Stmt_prepare _ | Ast.Stmt_execute _ | Ast.Stmt_deallocate _ ->
       false
 
   (* Replay of a logged statement always happens outside a transaction,
@@ -143,6 +147,49 @@ module System = struct
 
   (* ---- statement dispatch ---- *)
 
+  (* Run a compiled DML plan through the standard routing: a bare
+     select outside a transaction is pure retrieval; anything inside a
+     transaction extends it; anything else is its own transaction with
+     rule processing.  [op] is inspected only for its shape — execution
+     enters [cop]. *)
+  let run_cop eng ?params (op : Ast.op) cop : exec_result =
+    match op with
+    | Ast.Select_op _ when not (Engine.in_transaction eng) ->
+      Relation (Engine.query_cop eng ?params cop)
+    | _ ->
+      if Engine.in_transaction eng then begin
+        match Engine.submit_cops eng ?params [ cop ] with
+        | [ rel ] -> Relation rel
+        | _ -> Msg "ok"
+      end
+      else begin
+        let outcome, results = Engine.execute_block_cops eng ?params [ cop ] in
+        match outcome, results with
+        | Engine.Committed, [ rel ] -> Relation rel
+        | outcome, _ -> Outcome outcome
+      end
+
+  (* The interpreter routing — the differential-oracle path when
+     {!Compile.enabled} is off.  EXECUTE reaches it with parameters
+     already substituted into the tree. *)
+  let run_op_interp eng (op : Ast.op) : exec_result =
+    match op with
+    | Ast.Select_op s when not (Engine.in_transaction eng) ->
+      (* a bare query outside a transaction is pure retrieval *)
+      Relation (Engine.query eng s)
+    | _ ->
+      if Engine.in_transaction eng then begin
+        match Engine.submit_ops eng [ op ] with
+        | [ rel ] -> Relation rel
+        | _ -> Msg "ok"
+      end
+      else begin
+        let outcome, results = Engine.execute_block eng [ op ] in
+        match outcome, results with
+        | Engine.Committed, [ rel ] -> Relation rel
+        | outcome, _ -> Outcome outcome
+      end
+
   let exec_statement t (stmt : Ast.statement) : exec_result =
     let eng = t.engine in
     (match t.on_ddl with
@@ -197,21 +244,29 @@ module System = struct
     | Ast.Stmt_drop_index name ->
       Engine.drop_index eng name;
       Msg (Printf.sprintf "index %s dropped" name)
-    | Ast.Stmt_op (Ast.Select_op s) when not (Engine.in_transaction eng) ->
-      (* a bare query outside a transaction is pure retrieval *)
-      Relation (Engine.query eng s)
     | Ast.Stmt_op op ->
-      if Engine.in_transaction eng then begin
-        match Engine.submit_ops eng [ op ] with
-        | [ rel ] -> Relation rel
-        | _ -> Msg "ok"
-      end
-      else begin
-        let outcome, results = Engine.execute_block eng [ op ] in
-        match outcome, results with
-        | Engine.Committed, [ rel ] -> Relation rel
-        | outcome, _ -> Outcome outcome
-      end
+      (* compiled execution enters the statement cache, so a repeated
+         statement re-runs its plan without recompiling *)
+      if !Compile.enabled then run_cop eng op (Engine.cached_cop eng op)
+      else run_op_interp eng op
+    | Ast.Stmt_prepare (name, op) ->
+      Engine.prepare eng ~name op;
+      Msg (Printf.sprintf "prepared %s" name)
+    | Ast.Stmt_execute (name, args) ->
+      let p = Engine.find_prepared eng name in
+      let params = Engine.bind_params p args in
+      if !Compile.enabled then
+        run_cop eng ~params (Engine.prepared_op p) (Engine.prepared_cop eng p)
+      else
+        (* interpreter oracle: substitute the bound constants into the
+           tree and run it as if typed literally *)
+        run_op_interp eng (Ast.subst_params_op params (Engine.prepared_op p))
+    | Ast.Stmt_deallocate target ->
+      Engine.deallocate eng target;
+      Msg
+        (match target with
+        | Some name -> Printf.sprintf "deallocated %s" name
+        | None -> "deallocated all")
     | Ast.Stmt_show_tables ->
       let names = Database.table_names (Engine.database eng) in
       Relation
@@ -235,7 +290,16 @@ module System = struct
         | plans ->
           List.map (fun p -> "  " ^ Eval.describe_source_plan p) plans
       in
-      Msg (String.concat "\n" (header :: body))
+      (* what executing this statement would find in the statement
+         cache right now — a non-mutating probe *)
+      let cache_line =
+        Printf.sprintf "  statement cache: %s"
+          (match Engine.stmt_cache_lookup eng op with
+          | `Hit -> "hit"
+          | `Stale -> "stale"
+          | `Miss -> "miss")
+      in
+      Msg (String.concat "\n" ((header :: body) @ [ cache_line ]))
     | Ast.Stmt_explain (Ast.Explain_rule name) ->
       let plans = Engine.explain_rule eng name in
       let keys = Engine.rule_index_keys eng name in

@@ -20,6 +20,10 @@ type t =
   | Invalid_transition_reference of string
   | Transaction_error of string
   | Semantic_error of string
+  | Unknown_prepared of string
+  | Duplicate_prepared of string
+  | Prepared_arity of { name : string; expected : int; got : int }
+  | Parameter_error of string
 
 exception Error of t
 
@@ -56,6 +60,14 @@ let to_string = function
       msg
   | Transaction_error msg -> Printf.sprintf "transaction error: %s" msg
   | Semantic_error msg -> Printf.sprintf "semantic error: %s" msg
+  | Unknown_prepared name -> Printf.sprintf "unknown prepared statement %S" name
+  | Duplicate_prepared name ->
+    Printf.sprintf "prepared statement %S already exists" name
+  | Prepared_arity { name; expected; got } ->
+    Printf.sprintf
+      "wrong number of arguments for prepared statement %S: expected %d, got %d"
+      name expected got
+  | Parameter_error msg -> Printf.sprintf "parameter error: %s" msg
 
 let raise_error e = raise (Error e)
 let semantic fmt = Printf.ksprintf (fun msg -> raise_error (Semantic_error msg)) fmt

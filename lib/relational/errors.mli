@@ -27,6 +27,13 @@ type t =
           (paper Section 3's syntactic restriction). *)
   | Transaction_error of string
   | Semantic_error of string
+  | Unknown_prepared of string
+  | Duplicate_prepared of string
+  | Prepared_arity of { name : string; expected : int; got : int }
+      (** EXECUTE supplied the wrong number of arguments. *)
+  | Parameter_error of string
+      (** A positional '?' parameter appeared where none is allowed
+          (DDL, rule bodies, direct execution) or was left unbound. *)
 
 exception Error of t
 

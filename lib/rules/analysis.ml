@@ -142,7 +142,7 @@ let rule_reads (r : Rule.t) =
       acc s.Ast.from
   in
   let rec expr_selects acc = function
-    | Ast.Lit _ | Ast.Col _ -> acc
+    | Ast.Lit _ | Ast.Param _ | Ast.Col _ -> acc
     | Ast.Binop (_, a, b) | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b)
     | Ast.Like (a, b) -> expr_selects (expr_selects acc a) b
     | Ast.Neg a | Ast.Not a | Ast.Is_null a | Ast.Is_not_null a ->

@@ -22,6 +22,7 @@ module Ast = Sqlf.Ast
 module Dml = Sqlf.Dml
 module Eval = Sqlf.Eval
 module Compile = Sqlf.Compile
+module Pretty = Sqlf.Pretty
 module Str_map = Map.Make (String)
 module Str_set = Set.Make (String)
 
@@ -72,6 +73,12 @@ type stats = {
   mutable rules_skipped : int;
       (* rules the discrimination index excluded from candidate scans;
          always 0 under the linear-scan oracle *)
+  mutable stmt_cache_hits : int;
+      (* statement/prepared plans served without recompiling *)
+  mutable stmt_cache_misses : int; (* first-time compilations *)
+  mutable stmt_cache_invalidations : int;
+      (* cached plans discarded because the DDL generation or a planner
+         switch moved since compilation *)
 }
 
 (* Execution trace: what happened during rule processing, for the
@@ -148,6 +155,17 @@ let fresh_txn db =
     considered0 = Str_map.empty;
   }
 
+(* A prepared statement (PREPARE name AS <op>): parsed once, compiled
+   lazily against the validity key, bound per EXECUTE.  The registry
+   is engine-local and starts empty on [fork], which is what gives a
+   server session its own statement namespace. *)
+type prepared = {
+  pr_name : string;
+  pr_op : Ast.op;
+  pr_nparams : int;
+  mutable pr_compiled : (int * Dml.cop) option; (* (validity key, plan) *)
+}
+
 type t = {
   mutable db : Database.t;
   mutable ddl_gen : int;
@@ -180,6 +198,10 @@ type t = {
       (* monotonic-seconds hook for trace timestamps and rule timing;
          [None] (the default) disables all timing *)
   rule_metrics : (string, metrics) Hashtbl.t;
+  stmt_cache : (string, int * Dml.cop) Hashtbl.t;
+      (* canonical SQL text -> (validity key, compiled plan): repeated
+         unprepared statements reuse compiled plans too *)
+  prepared : (string, prepared) Hashtbl.t;
 }
 
 let log_src = Logs.Src.create "sopr.engine" ~doc:"rule engine execution"
@@ -201,6 +223,9 @@ let fresh_stats () =
     hash_join_probes = 0;
     candidates_considered = 0;
     rules_skipped = 0;
+    stmt_cache_hits = 0;
+    stmt_cache_misses = 0;
+    stmt_cache_invalidations = 0;
   }
 
 let create ?(config = default_config) db =
@@ -224,6 +249,8 @@ let create ?(config = default_config) db =
     trace = [];
     wall_clock = None;
     rule_metrics = Hashtbl.create 16;
+    stmt_cache = Hashtbl.create 64;
+    prepared = Hashtbl.create 16;
   }
 
 (* A session engine for the concurrent server: an independent
@@ -261,6 +288,10 @@ let fork t =
     trace = [];
     wall_clock = None;
     rule_metrics = Hashtbl.create 16;
+    (* fresh per fork: each server session gets its own statement
+       namespace and plan cache, and dropping the fork drops both *)
+    stmt_cache = Hashtbl.create 64;
+    prepared = Hashtbl.create 16;
   }
 
 let database t = t.db
@@ -344,6 +375,110 @@ let compiled_action t (rule : Rule.t) ops =
     let cops = List.map (Dml.compile_op t.db) ops in
     cf.Rule.cf_action <- Some (key, cops);
     cops
+
+(* {2 Statement cache and prepared statements}
+
+   The statement cache maps canonical statement text to a compiled
+   plan, keyed (like compiled rule forms) on [gen_key]: a hit serves
+   the plan without recompiling; a stale entry — DDL generation or a
+   planner switch moved — counts as an invalidation and recompiles in
+   place.  Prepared statements reuse the same validity discipline but
+   live in a separate per-name registry so DEALLOCATE and the server's
+   per-session namespace have something to address. *)
+
+let stmt_cache_max = 512
+(* wholesale reset when the cache would exceed this; an LRU is not
+   worth its bookkeeping for a cache this small *)
+
+let cached_cop t (op : Ast.op) =
+  let text = Pretty.op_str op in
+  let key = gen_key t in
+  match Hashtbl.find_opt t.stmt_cache text with
+  | Some (k, cop) when k = key ->
+    t.stats.stmt_cache_hits <- t.stats.stmt_cache_hits + 1;
+    cop
+  | Some _ ->
+    t.stats.stmt_cache_invalidations <- t.stats.stmt_cache_invalidations + 1;
+    let cop = Dml.compile_op t.db op in
+    Hashtbl.replace t.stmt_cache text (key, cop);
+    cop
+  | None ->
+    t.stats.stmt_cache_misses <- t.stats.stmt_cache_misses + 1;
+    if Hashtbl.length t.stmt_cache >= stmt_cache_max then
+      Hashtbl.reset t.stmt_cache;
+    let cop = Dml.compile_op t.db op in
+    Hashtbl.replace t.stmt_cache text (key, cop);
+    cop
+
+(* Non-mutating probe for EXPLAIN: what would executing this statement
+   find in the cache right now? *)
+let stmt_cache_lookup t (op : Ast.op) =
+  match Hashtbl.find_opt t.stmt_cache (Pretty.op_str op) with
+  | Some (k, _) when k = gen_key t -> `Hit
+  | Some _ -> `Stale
+  | None -> `Miss
+
+let stmt_cache_size t = Hashtbl.length t.stmt_cache
+let stmt_cache_clear t = Hashtbl.reset t.stmt_cache
+
+let prepare t ~name (op : Ast.op) =
+  if Hashtbl.mem t.prepared name then
+    Errors.raise_error (Errors.Duplicate_prepared name);
+  Hashtbl.replace t.prepared name
+    {
+      pr_name = name;
+      pr_op = op;
+      pr_nparams = Ast.param_count_op op;
+      pr_compiled = None;
+    }
+
+let find_prepared t name =
+  match Hashtbl.find_opt t.prepared name with
+  | Some p -> p
+  | None -> Errors.raise_error (Errors.Unknown_prepared name)
+
+let has_prepared t name = Hashtbl.mem t.prepared name
+
+let deallocate t = function
+  | Some name ->
+    if not (Hashtbl.mem t.prepared name) then
+      Errors.raise_error (Errors.Unknown_prepared name);
+    Hashtbl.remove t.prepared name
+  | None -> Hashtbl.reset t.prepared
+
+let prepared_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.prepared []
+  |> List.sort String.compare
+
+let prepared_nparams (p : prepared) = p.pr_nparams
+let prepared_op (p : prepared) = p.pr_op
+
+(* Fetch (or build) a prepared statement's plan — same validity
+   discipline as [cached_cop], same counters. *)
+let prepared_cop t (p : prepared) =
+  let key = gen_key t in
+  match p.pr_compiled with
+  | Some (k, cop) when k = key ->
+    t.stats.stmt_cache_hits <- t.stats.stmt_cache_hits + 1;
+    cop
+  | Some _ ->
+    t.stats.stmt_cache_invalidations <- t.stats.stmt_cache_invalidations + 1;
+    let cop = Dml.compile_op t.db p.pr_op in
+    p.pr_compiled <- Some (key, cop);
+    cop
+  | None ->
+    t.stats.stmt_cache_misses <- t.stats.stmt_cache_misses + 1;
+    let cop = Dml.compile_op t.db p.pr_op in
+    p.pr_compiled <- Some (key, cop);
+    cop
+
+let bind_params (p : prepared) (args : Value.t list) =
+  let got = List.length args in
+  if got <> p.pr_nparams then
+    Errors.raise_error
+      (Errors.Prepared_arity
+         { name = p.pr_name; expected = p.pr_nparams; got });
+  Array.of_list args
 
 let in_transaction t = Option.is_some t.txn.txn_start
 let set_tracing t on = t.tracing <- on
@@ -631,12 +766,13 @@ let run_ops t ~resolver_of (ops : Ast.op list) =
     ops
 
 (* The compiled counterpart: same per-operation resolver/access/state
-   threading, entering cached compiled operations. *)
-let run_cops t ~resolver_of (cops : Dml.cop list) =
+   threading, entering cached compiled operations.  [params] is the
+   EXECUTE parameter frame (absent for rule actions). *)
+let run_cops t ~resolver_of ?params (cops : Dml.cop list) =
   run_steps t ~resolver_of
     ~exec:(fun ~access resolve db cop ->
       Dml.exec_cop ~track_selects:t.config.track_selects
-        ~optimize:t.config.optimize ~access resolve db cop)
+        ~optimize:t.config.optimize ~access ?params resolve db cop)
     cops
 
 let external_resolver db : Eval.resolver = Eval.base_resolver db
@@ -650,6 +786,20 @@ let submit_ops t (ops : Ast.op list) =
   require_txn t;
   let db0 = t.db in
   match run_ops t ~resolver_of:external_resolver ops with
+  | eff, results ->
+    t.txn.pending <- Effect.compose t.txn.pending eff;
+    t.txn.txn_effect <- Effect.compose t.txn.txn_effect eff;
+    results
+  | exception e ->
+    t.db <- db0;
+    raise e
+
+(* Compiled counterpart of [submit_ops]: statement-cache / prepared
+   plans entering an open transaction, with the same indivisibility. *)
+let submit_cops t ?params (cops : Dml.cop list) =
+  require_txn t;
+  let db0 = t.db in
+  match run_cops t ~resolver_of:external_resolver ?params cops with
   | eff, results ->
     t.txn.pending <- Effect.compose t.txn.pending eff;
     t.txn.txn_effect <- Effect.compose t.txn.txn_effect eff;
@@ -1023,6 +1173,18 @@ let execute_block t (ops : Ast.op list) =
     if in_transaction t then abort_txn t e;
     raise e
 
+(* Compiled counterpart of [execute_block]: one transaction running
+   cached / prepared plans, rule processing before commit as usual. *)
+let execute_block_cops t ?params (cops : Dml.cop list) =
+  begin_txn t;
+  try
+    let results = submit_cops t ?params cops in
+    let outcome = commit t in
+    (outcome, results)
+  with e ->
+    if in_transaction t then abort_txn t e;
+    raise e
+
 (* Evaluate a query outside any rule context.  Top-level queries are
    one-shot, so their compiled form is built, run and discarded — the
    win here is the positional evaluation itself, not caching. *)
@@ -1031,6 +1193,20 @@ let query t (s : Ast.select) =
     Compile.eval_select ~access:(access_for t t.db) (external_resolver t.db)
       t.db s
   else Eval.eval_select ~access:(access_for t t.db) (external_resolver t.db) s
+
+(* Evaluate a cached / prepared select plan outside any transaction —
+   the compiled-path counterpart of [query].  The caller guarantees the
+   compiled operation is a select. *)
+let query_cop t ?params (cop : Dml.cop) =
+  let r =
+    Dml.exec_cop ~track_selects:false ~optimize:t.config.optimize
+      ~access:(access_for t t.db) ?params
+      (external_resolver t.db)
+      t.db cop
+  in
+  match r.Dml.result with
+  | Some rel -> rel
+  | None -> assert false (* select operations always produce a relation *)
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN                                                             *)
@@ -1053,7 +1229,7 @@ let explain_op t (op : Ast.op) =
    inside a collected select are planned (and shown) as part of it. *)
 let rec embedded_selects (e : Ast.expr) : Ast.select list =
   match e with
-  | Ast.Lit _ | Ast.Col _ -> []
+  | Ast.Lit _ | Ast.Param _ | Ast.Col _ -> []
   | Ast.Neg e | Ast.Not e | Ast.Is_null e | Ast.Is_not_null e ->
     embedded_selects e
   | Ast.Binop (_, a, b)

@@ -76,6 +76,12 @@ type stats = {
   mutable rules_skipped : int;
       (** rules the discrimination index excluded from candidate scans
           (always 0 under the linear-scan oracle) *)
+  mutable stmt_cache_hits : int;
+      (** statement/prepared plans served without recompiling *)
+  mutable stmt_cache_misses : int;  (** first-time statement compilations *)
+  mutable stmt_cache_invalidations : int;
+      (** cached plans discarded because the DDL generation or a planner
+          switch moved since compilation *)
 }
 
 (** One step of an execution trace (Section 6 tooling: understanding
@@ -244,6 +250,76 @@ val execute_block : t -> Ast.op list -> outcome * Eval.relation list
 
 val query : t -> Ast.select -> Eval.relation
 (** Evaluate a query outside any rule context (no transition tables). *)
+
+(** {2 Statement cache and prepared statements}
+
+    The statement cache maps canonical statement text to a compiled
+    plan, keyed (like compiled rule forms) on the DDL generation and
+    the planner switches in force at compile time.  A hit serves the
+    plan without recompiling; a stale entry counts as an invalidation
+    and recompiles in place.  Prepared statements (PREPARE name AS
+    <op>) reuse the same validity discipline in a per-name registry.
+    Both structures are engine-local and start empty on {!fork}, which
+    gives each server session its own statement namespace and drops
+    both when the session ends. *)
+
+module Dml = Sqlf.Dml
+
+val cached_cop : t -> Ast.op -> Dml.cop
+(** The compiled plan for [op], served from the statement cache when
+    valid, (re)compiled and cached otherwise.  Updates the
+    [stmt_cache_*] counters in {!stats}. *)
+
+val stmt_cache_lookup : t -> Ast.op -> [ `Hit | `Stale | `Miss ]
+(** Non-mutating probe (for EXPLAIN): what would executing this
+    statement find in the cache right now? *)
+
+val stmt_cache_size : t -> int
+val stmt_cache_clear : t -> unit
+
+type prepared
+(** A prepared statement: parsed once, compiled lazily against the
+    validity key, bound per EXECUTE. *)
+
+val prepare : t -> name:string -> Ast.op -> unit
+(** Register [op] under [name].  Raises [Duplicate_prepared] if the
+    name is taken. *)
+
+val find_prepared : t -> string -> prepared
+(** Raises [Unknown_prepared]. *)
+
+val has_prepared : t -> string -> bool
+
+val deallocate : t -> string option -> unit
+(** [Some name] drops one prepared statement (raises
+    [Unknown_prepared]); [None] drops them all (DEALLOCATE ALL). *)
+
+val prepared_names : t -> string list
+(** Registered names, sorted. *)
+
+val prepared_nparams : prepared -> int
+val prepared_op : prepared -> Ast.op
+
+val prepared_cop : t -> prepared -> Dml.cop
+(** The prepared statement's plan, compiled at most once per validity
+    key — same counters as {!cached_cop}. *)
+
+val bind_params : prepared -> Value.t list -> Value.t array
+(** Check EXECUTE argument arity against the statement's parameter
+    count (raises [Prepared_arity]) and build the parameter frame. *)
+
+val submit_cops : t -> ?params:Value.t array -> Dml.cop list -> Eval.relation list
+(** Compiled counterpart of {!submit_ops}: run cached/prepared plans
+    inside the open transaction, with the same indivisibility
+    contract. *)
+
+val execute_block_cops :
+  t -> ?params:Value.t array -> Dml.cop list -> outcome * Eval.relation list
+(** Compiled counterpart of {!execute_block}. *)
+
+val query_cop : t -> ?params:Value.t array -> Dml.cop -> Eval.relation
+(** Compiled counterpart of {!query} for a select plan.  The caller
+    guarantees the compiled operation is a select. *)
 
 (** {2 EXPLAIN} *)
 

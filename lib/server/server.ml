@@ -128,6 +128,12 @@ type session = {
      the effect never saw it *)
   mutable scan_tables : Effect.Col_set.t;
   mutable touch_tables : Effect.Col_set.t;
+  (* the session's prepared-statement namespace.  It lives on the
+     SESSION, not on any engine fork — transaction forks and snapshot
+     readers are transient, so the server re-installs a statement into
+     whichever fork executes it.  A cached reader fork keeps its
+     compiled plan until the committed version moves. *)
+  prepared : (string, Ast.op) Hashtbl.t;
 }
 
 let with_lock t f =
@@ -477,6 +483,7 @@ let open_session t =
         reader = None;
         scan_tables = Effect.Col_set.empty;
         touch_tables = Effect.Col_set.empty;
+        prepared = Hashtbl.create 8;
       })
 
 (* Fork a transaction context from the committed state.  The fork (a
@@ -555,11 +562,28 @@ let exec_ddl t stmt =
    statement ended. *)
 let record_footprint session stmt =
   if session.server.serializable then
-    match stmt with
-    | Ast.Stmt_op op ->
+    let claim op =
       session.scan_tables <- op_scan_tables session.scan_tables op;
       session.touch_tables <- op_touch_tables session.touch_tables op
+    in
+    match stmt with
+    | Ast.Stmt_op op -> claim op
+    | Ast.Stmt_execute (name, _) -> (
+      (* the table footprint of an EXECUTE is its prepared body's —
+         parameters bind values, never tables *)
+      match Hashtbl.find_opt session.prepared name with
+      | Some op -> claim op
+      | None -> ())
     | _ -> ()
+
+(* Make [name] executable on [sys]: the registry of record is the
+   session's, so a transient fork learns the statement on first use. *)
+let install_prepared session sys name =
+  match Hashtbl.find_opt session.prepared name with
+  | None -> Errors.raise_error (Errors.Unknown_prepared name)
+  | Some op ->
+    let eng = System.engine sys in
+    if not (Engine.has_prepared eng name) then Engine.prepare eng ~name op
 
 let in_txn_stmt t session sys stmt =
   let sync () =
@@ -589,6 +613,9 @@ let autocommit t session stmt =
   record_footprint session stmt;
   let sys = match session.txn with Some s -> s | None -> assert false in
   match
+    (match stmt with
+    | Ast.Stmt_execute (name, _) -> install_prepared session sys name
+    | _ -> ());
     let r = System.exec_statement sys stmt in
     (r, Engine.commit (System.engine sys))
   with
@@ -607,32 +634,80 @@ let autocommit t session stmt =
     raise e
 
 let exec_stmt t session (stmt : Ast.statement) =
-  match session.txn with
-  | Some sys ->
-    if System.is_ddl stmt then
-      (* even rule DDL, which the engine allows mid-transaction, is
-         rejected here: on a fork it would mutate the shared
-         discrimination index behind the primary's back *)
-      Errors.raise_error
-        (Errors.Transaction_error
-           "DDL inside a server transaction is not supported")
-    else in_txn_stmt t session sys stmt
-  | None -> (
-    match stmt with
-    | Ast.Stmt_begin ->
-      start_txn t session;
-      System.Msg "transaction started"
-    | Ast.Stmt_commit | Ast.Stmt_rollback | Ast.Stmt_process_rules ->
-      Errors.raise_error (Errors.Transaction_error "no open transaction")
-    | _ when System.is_ddl stmt -> exec_ddl t stmt
-    | Ast.Stmt_op (Ast.Select_op _) | Ast.Stmt_show_tables | Ast.Stmt_show_rules
-    | Ast.Stmt_explain _ | Ast.Stmt_describe _ ->
-      (* snapshot read: no locks held during evaluation *)
-      System.exec_statement (reader_sys t session) stmt
-    | Ast.Stmt_op _ -> autocommit t session stmt
-    | _ ->
-      (* every DDL constructor is caught by the is_ddl guard above *)
-      assert false)
+  match stmt with
+  (* Prepared-statement management is SESSION state, independent of any
+     open transaction (as in SQL: PREPARE/DEALLOCATE are not undone by
+     rollback).  DEALLOCATE also drops the statement from any live fork
+     so a later re-PREPARE under the same name cannot run a stale
+     plan. *)
+  | Ast.Stmt_prepare (name, op) ->
+    if Hashtbl.mem session.prepared name then
+      Errors.raise_error (Errors.Duplicate_prepared name);
+    Hashtbl.replace session.prepared name op;
+    System.Msg (Printf.sprintf "prepared %s" name)
+  | Ast.Stmt_deallocate target ->
+    (match target with
+    | Some name ->
+      if not (Hashtbl.mem session.prepared name) then
+        Errors.raise_error (Errors.Unknown_prepared name);
+      Hashtbl.remove session.prepared name
+    | None -> Hashtbl.reset session.prepared);
+    let drop sys =
+      let eng = System.engine sys in
+      match target with
+      | Some name ->
+        if Engine.has_prepared eng name then Engine.deallocate eng (Some name)
+      | None -> Engine.deallocate eng None
+    in
+    Option.iter drop session.txn;
+    (match session.reader with Some (_, sys) -> drop sys | None -> ());
+    System.Msg
+      (match target with
+      | Some name -> Printf.sprintf "deallocated %s" name
+      | None -> "deallocated all")
+  | _ -> (
+    match session.txn with
+    | Some sys ->
+      if System.is_ddl stmt then
+        (* even rule DDL, which the engine allows mid-transaction, is
+           rejected here: on a fork it would mutate the shared
+           discrimination index behind the primary's back *)
+        Errors.raise_error
+          (Errors.Transaction_error
+             "DDL inside a server transaction is not supported")
+      else begin
+        (match stmt with
+        | Ast.Stmt_execute (name, _) -> install_prepared session sys name
+        | _ -> ());
+        in_txn_stmt t session sys stmt
+      end
+    | None -> (
+      match stmt with
+      | Ast.Stmt_begin ->
+        start_txn t session;
+        System.Msg "transaction started"
+      | Ast.Stmt_commit | Ast.Stmt_rollback | Ast.Stmt_process_rules ->
+        Errors.raise_error (Errors.Transaction_error "no open transaction")
+      | _ when System.is_ddl stmt -> exec_ddl t stmt
+      | Ast.Stmt_op (Ast.Select_op _) | Ast.Stmt_show_tables
+      | Ast.Stmt_show_rules | Ast.Stmt_explain _ | Ast.Stmt_describe _ ->
+        (* snapshot read: no locks held during evaluation *)
+        System.exec_statement (reader_sys t session) stmt
+      | Ast.Stmt_execute (name, _) -> (
+        match Hashtbl.find_opt session.prepared name with
+        | None -> Errors.raise_error (Errors.Unknown_prepared name)
+        | Some (Ast.Select_op _) ->
+          (* a prepared select is a snapshot read like any other: the
+             cached reader fork keeps its compiled plan across
+             EXECUTEs until the committed version moves *)
+          let sys = reader_sys t session in
+          install_prepared session sys name;
+          System.exec_statement sys stmt
+        | Some _ -> autocommit t session stmt)
+      | Ast.Stmt_op _ -> autocommit t session stmt
+      | _ ->
+        (* every DDL constructor is caught by the is_ddl guard above *)
+        assert false))
 
 (* Execute a ';'-separated script, statement by statement.  Statements
    before a failing one keep their effects (matching the embedded

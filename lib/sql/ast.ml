@@ -25,6 +25,7 @@ type trans_table =
 
 type expr =
   | Lit of Value.t
+  | Param of int (* positional '?' parameter, 0-based in statement order *)
   | Col of { qualifier : string option; column : string }
   | Binop of binop * expr * expr
   | Neg of expr
@@ -174,6 +175,14 @@ type statement =
   | Stmt_show_rules
   | Stmt_describe of string
   | Stmt_explain of explain_target
+  | Stmt_prepare of string * op
+      (* PREPARE name AS <op>: parse and compile once, bind per
+         EXECUTE.  Only DML operations are preparable; the body is the
+         only place positional parameters may appear. *)
+  | Stmt_execute of string * Value.t list
+      (* EXECUTE name (v, ...): bind constants into the prepared
+         operation's parameter frame and run the cached closure. *)
+  | Stmt_deallocate of string option (* None deallocates all *)
 
 (* ------------------------------------------------------------------ *)
 (* Structural helpers used by the rule engine and static analysis.    *)
@@ -209,7 +218,7 @@ let trans_table_matches_pred tt pred =
 let rec fold_trans_tables_expr f acc expr =
   let fe = fold_trans_tables_expr f in
   match expr with
-  | Lit _ | Col _ -> acc
+  | Lit _ | Param _ | Col _ -> acc
   | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) | Like (a, b) ->
     fe (fe acc a) b
   | Neg a | Not a | Is_null a | Is_not_null a -> fe acc a
@@ -290,7 +299,7 @@ let trans_tables_of_rule (r : rule_def) =
 let rec fold_base_tables_expr f acc expr =
   let fe = fold_base_tables_expr f in
   match expr with
-  | Lit _ | Col _ -> acc
+  | Lit _ | Param _ | Col _ -> acc
   | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) | Like (a, b) ->
     fe (fe acc a) b
   | Neg a | Not a | Is_null a | Is_not_null a -> fe acc a
@@ -345,3 +354,217 @@ let base_tables_of_expr e =
   List.rev (fold_base_tables_expr
     (fun acc t -> if List.exists (String.equal t) acc then acc else t :: acc)
     [] e)
+
+(* ------------------------------------------------------------------ *)
+(* Positional parameters.                                              *)
+
+(* Map every [Param i] in an expression through [f].  The interpreter
+   path of EXECUTE substitutes argument literals into the AST with
+   this (the paper-faithful reading of "bind constants"); the compiled
+   path binds a parameter frame instead, and the differential oracle
+   proves the two agree. *)
+let rec map_params_expr f expr =
+  let fe = map_params_expr f in
+  match expr with
+  | Lit _ | Col _ -> expr
+  | Param i -> f i
+  | Binop (op, a, b) -> Binop (op, fe a, fe b)
+  | Neg a -> Neg (fe a)
+  | Cmp (op, a, b) -> Cmp (op, fe a, fe b)
+  | And (a, b) -> And (fe a, fe b)
+  | Or (a, b) -> Or (fe a, fe b)
+  | Not a -> Not (fe a)
+  | Is_null a -> Is_null (fe a)
+  | Is_not_null a -> Is_not_null (fe a)
+  | In_list (a, es) -> In_list (fe a, List.map fe es)
+  | In_select (a, s) -> In_select (fe a, map_params_select f s)
+  | Not_in_list (a, es) -> Not_in_list (fe a, List.map fe es)
+  | Not_in_select (a, s) -> Not_in_select (fe a, map_params_select f s)
+  | Exists s -> Exists (map_params_select f s)
+  | Between (a, b, c) -> Between (fe a, fe b, fe c)
+  | Like (a, b) -> Like (fe a, fe b)
+  | Scalar_select s -> Scalar_select (map_params_select f s)
+  | Agg (fn, e) -> Agg (fn, Option.map fe e)
+  | Fn (name, args) -> Fn (name, List.map fe args)
+  | Case (branches, else_) ->
+    Case
+      ( List.map (fun (c, v) -> (fe c, fe v)) branches,
+        Option.map fe else_ )
+
+and map_params_select f (s : select) =
+  let fe = map_params_expr f in
+  let item it =
+    match it.source with
+    | Base _ | Transition _ -> it
+    | Derived sub -> { it with source = Derived (map_params_select f sub) }
+  in
+  {
+    s with
+    projections =
+      List.map
+        (function
+          | (Star | Table_star _) as p -> p
+          | Proj (e, a) -> Proj (fe e, a))
+        s.projections;
+    from = List.map item s.from;
+    where = Option.map fe s.where;
+    group_by = List.map fe s.group_by;
+    having = Option.map fe s.having;
+    compounds =
+      List.map (fun (op, sub) -> (op, map_params_select f sub)) s.compounds;
+    order_by = List.map (fun (e, d) -> (fe e, d)) s.order_by;
+  }
+
+let map_params_op f = function
+  | Insert { table; columns; source = `Values rows } ->
+    Insert
+      {
+        table;
+        columns;
+        source = `Values (List.map (List.map (map_params_expr f)) rows);
+      }
+  | Insert { table; columns; source = `Select s } ->
+    Insert { table; columns; source = `Select (map_params_select f s) }
+  | Delete { table; where } ->
+    Delete { table; where = Option.map (map_params_expr f) where }
+  | Update { table; sets; where } ->
+    Update
+      {
+        table;
+        sets = List.map (fun (c, e) -> (c, map_params_expr f e)) sets;
+        where = Option.map (map_params_expr f) where;
+      }
+  | Select_op s -> Select_op (map_params_select f s)
+
+(* The parser numbers parameters 0..n-1 in statement order, so the
+   count is one past the highest index. *)
+let param_count_op op =
+  let n = ref 0 in
+  ignore
+    (map_params_op
+       (fun i ->
+         if i >= !n then n := i + 1;
+         Param i)
+       op);
+  !n
+
+let subst_params_op args op =
+  map_params_op
+    (fun i ->
+      if i < 0 || i >= Array.length args then
+        Errors.semantic "parameter %d out of range" (i + 1)
+      else Lit args.(i))
+    op
+
+(* The dual of substitution, for the workload's prepared-statement
+   mode: rewrite an operation so every literal in a bindable position
+   — INSERT VALUES rows, UPDATE set right-hand sides, WHERE predicates
+   at every nesting level — becomes the next positional parameter,
+   returning the rewritten operation with the collected arguments.
+   Projections, GROUP BY, HAVING and ORDER BY are left alone: a
+   parameter there would change output naming, grouping structure or
+   positional-ordering semantics rather than just late-bind a
+   constant.  Traversal is forced left-to-right (constructor arguments
+   alone would evaluate right-to-left), so the numbering matches the
+   textual `?` order and [Pretty.op_str] of the result is a valid
+   PREPARE body for the same argument vector. *)
+let parameterize_op op =
+  let collected = ref [] and n = ref 0 in
+  let bind v =
+    let i = !n in
+    incr n;
+    collected := v :: !collected;
+    Param i
+  in
+  let rec pe expr =
+    match expr with
+    | Lit v -> bind v
+    | Col _ | Param _ -> expr
+    | Binop (o, a, b) ->
+      let a = pe a in
+      let b = pe b in
+      Binop (o, a, b)
+    | Neg a -> Neg (pe a)
+    | Cmp (o, a, b) ->
+      let a = pe a in
+      let b = pe b in
+      Cmp (o, a, b)
+    | And (a, b) ->
+      let a = pe a in
+      let b = pe b in
+      And (a, b)
+    | Or (a, b) ->
+      let a = pe a in
+      let b = pe b in
+      Or (a, b)
+    | Not a -> Not (pe a)
+    | Is_null a -> Is_null (pe a)
+    | Is_not_null a -> Is_not_null (pe a)
+    | In_list (a, es) ->
+      let a = pe a in
+      let es = List.map pe es in
+      In_list (a, es)
+    | In_select (a, s) ->
+      let a = pe a in
+      let s = ps s in
+      In_select (a, s)
+    | Not_in_list (a, es) ->
+      let a = pe a in
+      let es = List.map pe es in
+      Not_in_list (a, es)
+    | Not_in_select (a, s) ->
+      let a = pe a in
+      let s = ps s in
+      Not_in_select (a, s)
+    | Exists s -> Exists (ps s)
+    | Between (a, lo, hi) ->
+      let a = pe a in
+      let lo = pe lo in
+      let hi = pe hi in
+      Between (a, lo, hi)
+    | Like (a, b) ->
+      let a = pe a in
+      let b = pe b in
+      Like (a, b)
+    | Scalar_select s -> Scalar_select (ps s)
+    | Agg (fn, e) -> Agg (fn, Option.map pe e)
+    | Fn (name, args) -> Fn (name, List.map pe args)
+    | Case (branches, else_) ->
+      let branches =
+        List.map
+          (fun (c, v) ->
+            let c = pe c in
+            let v = pe v in
+            (c, v))
+          branches
+      in
+      Case (branches, Option.map pe else_)
+  and ps (s : select) =
+    let from =
+      List.map
+        (fun it ->
+          match it.source with
+          | Base _ | Transition _ -> it
+          | Derived sub -> { it with source = Derived (ps sub) })
+        s.from
+    in
+    let where = Option.map pe s.where in
+    let compounds = List.map (fun (o, sub) -> (o, ps sub)) s.compounds in
+    { s with from; where; compounds }
+  in
+  let op' =
+    match op with
+    | Insert { table; columns; source = `Values rows } ->
+      Insert
+        { table; columns; source = `Values (List.map (List.map pe) rows) }
+    | Insert { table; columns; source = `Select s } ->
+      Insert { table; columns; source = `Select (ps s) }
+    | Delete { table; where } ->
+      Delete { table; where = Option.map pe where }
+    | Update { table; sets; where } ->
+      let sets = List.map (fun (c, e) -> (c, pe e)) sets in
+      let where = Option.map pe where in
+      Update { table; sets; where }
+    | Select_op s -> Select_op (ps s)
+  in
+  (op', Array.of_list (List.rev !collected))

@@ -25,6 +25,7 @@ type trans_table =
 
 type expr =
   | Lit of Value.t
+  | Param of int  (** positional '?' parameter, 0-based in statement order *)
   | Col of { qualifier : string option; column : string }
   | Binop of binop * expr * expr
   | Neg of expr
@@ -174,6 +175,14 @@ type statement =
   | Stmt_show_rules
   | Stmt_describe of string
   | Stmt_explain of explain_target
+  | Stmt_prepare of string * op
+      (** PREPARE name AS <op>: parse and compile once, bind per
+          EXECUTE.  Only DML operations are preparable; the body is the
+          only place positional parameters may appear. *)
+  | Stmt_execute of string * Value.t list
+      (** EXECUTE name (v, ...): bind constants into the prepared
+          operation's parameter frame and run the cached closure. *)
+  | Stmt_deallocate of string option  (** [None] deallocates all *)
 
 (** {2 Structural helpers used by the rule engine and static analysis} *)
 
@@ -206,3 +215,33 @@ val fold_base_tables_select : ('a -> string -> 'a) -> 'a -> select -> 'a
 val base_tables_of_expr : expr -> string list
 (** Distinct base tables referenced by an expression, in first-seen
     order; the triggering footprint of a compiled assertion. *)
+
+(** {2 Positional parameters} *)
+
+val map_params_expr : (int -> expr) -> expr -> expr
+(** Replace every [Param i] in an expression by [f i], through embedded
+    selects. *)
+
+val map_params_select : (int -> expr) -> select -> select
+val map_params_op : (int -> expr) -> op -> op
+
+val param_count_op : op -> int
+(** Number of positional parameters in an operation (one past the
+    highest index; the parser numbers them 0..n-1 in statement
+    order). *)
+
+val subst_params_op : Value.t array -> op -> op
+(** Substitute argument literals for the parameters of an operation —
+    the interpreter path of EXECUTE.  Arity is validated by the caller;
+    an out-of-range index raises a semantic error. *)
+
+val parameterize_op : op -> op * Value.t array
+(** The dual of {!subst_params_op}, for driving ad-hoc statements
+    through the prepared-statement machinery: replace every literal in
+    a bindable position (INSERT VALUES rows, UPDATE set right-hand
+    sides, WHERE predicates at every nesting level) with the next
+    positional parameter and return the collected arguments.
+    Projections, GROUP BY, HAVING and ORDER BY keep their literals, so
+    output naming, grouping and positional ordering are unchanged.
+    Parameters are numbered in textual order:
+    [subst_params_op args (fst (parameterize_op op))] is [op]. *)

@@ -69,14 +69,20 @@ type rt = {
   rt_access : Eval.access option;
   rt_slots : Eval.relation option array;
   rt_use_cache : bool;
+  rt_params : Value.t array;
+      (* the EXECUTE parameter frame: [Param i] closures read slot [i].
+         Empty for unparameterized statements. *)
 }
 
-let make_rt ?access ~use_cache ~slots resolve =
+let no_params : Value.t array = [||]
+
+let make_rt ?access ?(params = no_params) ~use_cache ~slots resolve =
   {
     rt_resolve = resolve;
     rt_access = access;
     rt_slots = Array.make (max slots 1) None;
     rt_use_cache = use_cache;
+    rt_params = params;
   }
 
 (* [Some envs] while evaluating inside a grouped select: aggregate
@@ -321,9 +327,30 @@ let static_proj_names cprojs =
 (* ------------------------------------------------------------------ *)
 (* Expression and select compilation                                   *)
 
+(* [Some vs] when every expression in [es] is a literal (note: a [?]
+   parameter is not — it compiles to a frame read) *)
+let lit_values es =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Ast.Lit v :: rest -> go (v :: acc) rest
+    | _ -> None
+  in
+  go [] es
+
 let rec cexpr_of ctx (e : Ast.expr) : cexpr =
   match e with
   | Ast.Lit v -> fun _ _ _ -> v
+  | Ast.Param i ->
+    (* read the EXECUTE parameter frame; arity is validated before the
+       frame is built, so an out-of-range read means the closure was
+       run outside EXECUTE *)
+    fun rt _ _ ->
+      if i < Array.length rt.rt_params then rt.rt_params.(i)
+      else
+        Errors.raise_error
+          (Errors.Parameter_error
+             (Printf.sprintf "parameter %d is unbound (use PREPARE/EXECUTE)"
+                (i + 1)))
   | Ast.Col { qualifier; column } -> (
     match resolve_col ctx qualifier column with
     | H_at (d, b, c) -> fun _ _ env -> env.(d).(b).(c)
@@ -389,21 +416,31 @@ let rec cexpr_of ctx (e : Ast.expr) : cexpr =
   | Ast.Is_not_null a ->
     let ca = cexpr_of ctx a in
     fun rt g env -> Value.Bool (not (Value.is_null (ca rt g env)))
-  | Ast.In_list (a, es) ->
+  | Ast.In_list (a, es) -> (
     let ca = cexpr_of ctx a in
-    let ces = List.map (cexpr_of ctx) es in
-    fun rt g env ->
-      let v = ca rt g env in
-      Eval.in_semantics v (List.map (fun ce -> ce rt g env) ces)
-  | Ast.Not_in_list (a, es) ->
+    (* an all-literal IN list is constant: hoist the element values out
+       of the per-row closure at compile time, so a cached or prepared
+       plan never re-evaluates the (possibly large) list *)
+    match lit_values es with
+    | Some vals -> fun rt g env -> Eval.in_semantics (ca rt g env) vals
+    | None ->
+      let ces = List.map (cexpr_of ctx) es in
+      fun rt g env ->
+        let v = ca rt g env in
+        Eval.in_semantics v (List.map (fun ce -> ce rt g env) ces))
+  | Ast.Not_in_list (a, es) -> (
     let ca = cexpr_of ctx a in
-    let ces = List.map (cexpr_of ctx) es in
-    fun rt g env ->
-      let v = ca rt g env in
+    let negate v vals =
       Eval.truth_value
-        (Value.truth_not
-           (Eval.value_truth
-              (Eval.in_semantics v (List.map (fun ce -> ce rt g env) ces))))
+        (Value.truth_not (Eval.value_truth (Eval.in_semantics v vals)))
+    in
+    match lit_values es with
+    | Some vals -> fun rt g env -> negate (ca rt g env) vals
+    | None ->
+      let ces = List.map (cexpr_of ctx) es in
+      fun rt g env ->
+        let v = ca rt g env in
+        negate v (List.map (fun ce -> ce rt g env) ces))
   | Ast.In_select (a, s) ->
     let ca = cexpr_of ctx a in
     let col = compile_subquery_column ctx s in
@@ -1224,13 +1261,13 @@ let run_predicate ?access ~use_cache resolve p =
   let rt = make_rt ?access ~use_cache ~slots:p.cp_nslots resolve in
   Value.truth_holds (Eval.value_truth (p.cp_expr rt None [||]))
 
-let eval_select ?access ?(use_cache = false) resolve db s =
+let eval_select ?access ?params ?(use_cache = false) resolve db s =
   (* same exception-safety injection site as [Eval.eval_select]: one
      hit per public entry, subqueries recurse internally *)
   Fault.hit Fault.Query_eval;
   let ctx = make db in
   let cs = compile_select' ctx s in
-  let rt = make_rt ?access ~use_cache ~slots:!(ctx.cc_slots) resolve in
+  let rt = make_rt ?access ?params ~use_cache ~slots:!(ctx.cc_slots) resolve in
   cs.cs_run rt [||]
 
 let plan_select ~access resolve db s =

@@ -43,10 +43,17 @@ type rt
     database states. *)
 
 val make_rt :
-  ?access:Eval.access -> use_cache:bool -> slots:int -> Eval.resolver -> rt
+  ?access:Eval.access ->
+  ?params:Value.t array ->
+  use_cache:bool ->
+  slots:int ->
+  Eval.resolver ->
+  rt
 (** [slots] must be at least the compile unit's {!slot_count};
     [use_cache:false] disables subquery memoization (mirroring
-    interpreter evaluation without a cache). *)
+    interpreter evaluation without a cache).  [params] is the EXECUTE
+    parameter frame read by compiled [Param] closures (default
+    empty). *)
 
 (** {2 Compilation context} *)
 
@@ -102,6 +109,7 @@ val select_cols : cselect -> string array
 
 val eval_select :
   ?access:Eval.access ->
+  ?params:Value.t array ->
   ?use_cache:bool ->
   Eval.resolver ->
   Database.t ->

@@ -174,7 +174,7 @@ let referenced_columns (s : Ast.select) schema binding_name =
   let add c = if not (List.exists (String.equal c) !cols) then cols := c :: !cols in
   let saw_unqualified_match = ref false in
   let rec walk_expr = function
-    | Ast.Lit _ -> ()
+    | Ast.Lit _ | Ast.Param _ -> ()
     | Ast.Col { qualifier = Some q; column } ->
       if String.equal q binding_name && Schema.has_column schema column then
         add column
@@ -429,13 +429,20 @@ let selected_handles_c rt ?access tbl cwhere cprobe =
       access.Eval.acc_note ~table:name `Seq_scan;
       scan ())
 
-let run_cop ~track_selects ~optimize ?access resolve db (cop : cop) : op_result
-    =
+let run_cop ~track_selects ~optimize ?access ?params resolve db (cop : cop) :
+    op_result =
   let rt nslots =
-    Compile.make_rt ?access ~use_cache:optimize ~slots:nslots resolve
+    Compile.make_rt ?access ?params ~use_cache:optimize ~slots:nslots resolve
   in
   match cop with
   | C_fallback op -> begin
+    (* the interpreter binds EXECUTE arguments by substitution, so a
+       parameterized operation that fell back still runs *)
+    let op =
+      match params with
+      | None | Some [||] -> op
+      | Some args -> Ast.subst_params_op args op
+    in
     let cache = if optimize then Some (Eval.make_cache ()) else None in
     match op with
     | Ast.Insert { table; columns; source } ->
@@ -536,13 +543,29 @@ let run_cop ~track_selects ~optimize ?access resolve db (cop : cop) : op_result
   | C_select { s; csel; nslots } ->
     Fault.hit Fault.Query_eval;
     let rel = Compile.run_select (rt nslots) csel in
-    let read = if track_selects then select_read_set resolve db s else [] in
+    let read =
+      if track_selects then
+        (* the read set interprets the select's WHERE over the stored
+           AST, so a prepared plan must bind its parameters first —
+           a dangling [Param] would make the predicate error out and
+           every row count as selected *)
+        let s =
+          match params with
+          | None | Some [||] -> s
+          | Some args -> (
+            match Ast.subst_params_op args (Ast.Select_op s) with
+            | Ast.Select_op s -> s
+            | _ -> assert false)
+        in
+        select_read_set resolve db s
+      else []
+    in
     { db; affected = A_select read; result = Some rel }
 
-let exec_cop ?(track_selects = false) ?(optimize = true) ?access resolve db
-    cop : op_result =
+let exec_cop ?(track_selects = false) ?(optimize = true) ?access ?params
+    resolve db cop : op_result =
   Fault.hit Fault.Dml_op;
-  run_cop ~track_selects ~optimize ?access resolve db cop
+  run_cop ~track_selects ~optimize ?access ?params resolve db cop
 
 let exec_op ?(track_selects = false) ?(optimize = true) ?access resolve db
     (op : Ast.op) : op_result =

@@ -71,10 +71,13 @@ val exec_cop :
   ?track_selects:bool ->
   ?optimize:bool ->
   ?access:Eval.access ->
+  ?params:Value.t array ->
   Eval.resolver ->
   Database.t ->
   cop ->
   op_result
 (** Run a compiled operation against a (possibly different) database
     state with the same catalog.  Hits the same [Dml_op] fault site as
-    {!exec_op}. *)
+    {!exec_op}.  [params] is the EXECUTE parameter frame: compiled
+    [Param] closures read it positionally; the interpreter fallback
+    substitutes the values into the AST instead. *)

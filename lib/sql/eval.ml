@@ -264,6 +264,7 @@ let independence ~(target : (string * string array) list)
   let rec expr inners (e : Ast.expr) =
     match e with
     | Ast.Lit _ -> true
+    | Ast.Param _ -> true (* a bound parameter is a constant *)
     | Ast.Col { qualifier = Some q; _ } ->
       let resolves_inner =
         List.exists
@@ -390,6 +391,12 @@ let sort_by_keys keyed =
 let rec eval_expr ctx (env : env) (e : Ast.expr) : Value.t =
   match e with
   | Ast.Lit v -> v
+  | Ast.Param i ->
+    (* the interpreter runs EXECUTE by substituting argument literals
+       into the AST, so a surviving parameter is one that never bound *)
+    Errors.raise_error
+      (Errors.Parameter_error
+         (Printf.sprintf "parameter %d is unbound (use PREPARE/EXECUTE)" (i + 1)))
   | Ast.Col { qualifier; column } ->
     lookup_column ~watches:ctx.watches env qualifier column
   | Ast.Binop (op, a, b) ->
@@ -566,7 +573,7 @@ and eval_aggregate ctx _env fn arg =
 and select_contains_agg (s : Ast.select) =
   let rec expr_has_agg = function
     | Ast.Agg _ -> true
-    | Ast.Lit _ | Ast.Col _ -> false
+    | Ast.Lit _ | Ast.Param _ | Ast.Col _ -> false
     | Ast.Binop (_, a, b)
     | Ast.Cmp (_, a, b)
     | Ast.And (a, b)

@@ -162,7 +162,7 @@ let lex_symbol st =
           | None -> (
             match peek st with
             | Some (('(' | ')' | ',' | ';' | '.' | '*' | '+' | '-' | '/' | '%'
-                    | '=' | '<' | '>') as c) ->
+                    | '=' | '<' | '>' | '?') as c) ->
               advance st;
               Token.Symbol (String.make 1 c)
             | Some c -> error st (Printf.sprintf "unexpected character %C" c)
@@ -181,9 +181,10 @@ let next_token st : Token.located =
   in
   { Token.token; line; col = c }
 
-(* Tokenize a whole input eagerly; SQL statements are short enough that
-   this is simpler than streaming and lets the parser backtrack by
-   index. *)
+(* Tokenize a whole input eagerly.  The parser scans via the streaming
+   [make]/[next_token] interface; the eager list survives as the
+   differential oracle for the streaming path (the qcheck property
+   checks the two produce identical token streams). *)
 let tokenize src =
   let st = make src in
   let rec go acc =

@@ -5,6 +5,18 @@
     dialect's operator symbols.  Lexical errors are raised as
     [Parse_error] with line/column positions. *)
 
+type state
+(** A streaming scan over one input: a cursor into the source string,
+    no materialized token list. *)
+
+val make : string -> state
+(** Start a streaming scan at the beginning of [src]. *)
+
+val next_token : state -> Token.located
+(** Scan and return the next token, advancing the cursor.  Returns
+    {!Token.Eof} (repeatedly) at end of input. *)
+
 val tokenize : string -> Token.located list
-(** Tokenize a whole input; the result always ends with an {!Token.Eof}
-    token. *)
+(** Tokenize a whole input eagerly; the result always ends with an
+    {!Token.Eof} token.  Retained as the differential oracle for the
+    streaming interface. *)

@@ -10,17 +10,55 @@
 
 open Relational
 
-type state = { tokens : Token.located array; mutable ix : int }
+(* The parser pulls tokens straight off the streaming lexer through a
+   small ring buffer — no materialized token list.  The grammar needs
+   at most two tokens of lookahead ([peek_ahead st 2]), so four slots
+   are plenty. *)
 
-let make tokens = { tokens = Array.of_list tokens; ix = 0 }
-let current st = st.tokens.(st.ix)
+let ring = 4
+
+type state = {
+  lx : Lexer.state;
+  buf : Token.located array; (* pulled-but-unconsumed tokens *)
+  mutable head : int; (* slot holding the current token *)
+  mutable count : int; (* filled slots starting at [head] *)
+  mutable nparams : int; (* '?' parameters seen in the current statement *)
+}
+
+let make src =
+  {
+    lx = Lexer.make src;
+    buf = Array.make ring { Token.token = Token.Eof; line = 0; col = 0 };
+    head = 0;
+    count = 0;
+    nparams = 0;
+  }
+
+let fill st n =
+  while st.count <= n do
+    st.buf.((st.head + st.count) mod ring) <- Lexer.next_token st.lx;
+    st.count <- st.count + 1
+  done
+
+let current st =
+  fill st 0;
+  st.buf.(st.head)
+
 let peek st = (current st).Token.token
 
 let peek_ahead st n =
-  let i = st.ix + n in
-  if i < Array.length st.tokens then st.tokens.(i).Token.token else Token.Eof
+  fill st n;
+  st.buf.((st.head + n) mod ring).Token.token
 
-let advance st = if st.ix < Array.length st.tokens - 1 then st.ix <- st.ix + 1
+(* Consuming Eof is a no-op, as in the array-indexed parser this
+   replaces. *)
+let advance st =
+  fill st 0;
+  match st.buf.(st.head).Token.token with
+  | Token.Eof -> ()
+  | _ ->
+    st.head <- (st.head + 1) mod ring;
+    st.count <- st.count - 1
 
 let error st msg =
   let { Token.token; line; col } = current st in
@@ -207,6 +245,11 @@ and parse_primary st =
   | Token.Kw "INFINITY" ->
     advance st;
     Ast.Lit (Value.Float Float.infinity)
+  | Token.Symbol "?" ->
+    advance st;
+    let i = st.nparams in
+    st.nparams <- st.nparams + 1;
+    Ast.Param i
   | Token.Kw "EXISTS" ->
     advance st;
     expect_symbol st "(";
@@ -372,6 +415,7 @@ and parse_projections st =
       Ast.Table_star name
     end
     else begin
+      let n0 = st.nparams in
       let e = parse_expr st in
       let alias =
         if accept_kw st "AS" then Some (expect_ident st "alias")
@@ -381,6 +425,16 @@ and parse_projections st =
             advance st;
             Some a
           | _ -> None
+      in
+      let alias =
+        match alias with
+        | None when st.nparams > n0 ->
+          (* a parameter in an alias-free projection: pin the output
+             column name to the PREPARE-time source text, so binding
+             (or the interpreter oracle's substitution) cannot rename
+             the column per EXECUTE *)
+          Some (Pretty.expr_str e)
+        | _ -> alias
       in
       Ast.Proj (e, alias)
     end
@@ -773,7 +827,7 @@ let parse_create_table st =
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 
-let parse_statement st =
+let parse_statement_inner st =
   match peek st with
   | Token.Kw "CREATE" -> (
     advance st;
@@ -863,15 +917,68 @@ let parse_statement st =
     if accept_kw st "RULE" then
       Ast.Stmt_explain (Ast.Explain_rule (expect_ident st "rule name"))
     else Ast.Stmt_explain (Ast.Explain_op (parse_op st))
+  | Token.Kw "PREPARE" ->
+    advance st;
+    let name = expect_ident st "prepared-statement name" in
+    expect_kw st "AS";
+    (* [parse_op] admits only DML, so a parameterized DDL body cannot
+       slip in under PREPARE *)
+    Ast.Stmt_prepare (name, parse_op st)
+  | Token.Kw "EXECUTE" ->
+    advance st;
+    let name = expect_ident st "prepared-statement name" in
+    let args =
+      if accept_symbol st "(" then
+        if accept_symbol st ")" then []
+        else begin
+          let rec go acc =
+            let v = parse_literal st in
+            if accept_symbol st "," then go (v :: acc) else List.rev (v :: acc)
+          in
+          let vs = go [] in
+          expect_symbol st ")";
+          vs
+        end
+      else []
+    in
+    Ast.Stmt_execute (name, args)
+  | Token.Kw "DEALLOCATE" ->
+    advance st;
+    if accept_kw st "ALL" then Ast.Stmt_deallocate None
+    else Ast.Stmt_deallocate (Some (expect_ident st "prepared-statement name"))
   | Token.Kw ("INSERT" | "DELETE" | "UPDATE" | "SELECT") ->
     Ast.Stmt_op (parse_op st)
   | _ -> error st "expected a statement"
+
+(* Positional parameters bind through PREPARE only.  Everything else —
+   DDL (which executes, and in the rule case compiles, at definition
+   time), direct DML, EXPLAIN — gets a typed error rather than a
+   misbound constant downstream. *)
+let parse_statement st =
+  st.nparams <- 0;
+  let stmt = parse_statement_inner st in
+  (if st.nparams > 0 then
+     match stmt with
+     | Ast.Stmt_prepare _ -> ()
+     | Ast.Stmt_create_rule _ | Ast.Stmt_create_assertion _ ->
+       Errors.raise_error
+         (Errors.Parameter_error
+            "positional parameters are not allowed in rule definitions \
+             (rule bodies compile at DDL time)")
+     | Ast.Stmt_op _ | Ast.Stmt_explain _ ->
+       Errors.raise_error
+         (Errors.Parameter_error
+            "positional parameters are only allowed inside PREPARE ... AS")
+     | _ ->
+       Errors.raise_error
+         (Errors.Parameter_error "positional parameters are not allowed in DDL"));
+  stmt
 
 let at_eof st = peek st = Token.Eof
 
 (* Parse a ';'-separated script. *)
 let parse_script src =
-  let st = make (Lexer.tokenize src) in
+  let st = make src in
   let rec go acc =
     (* skip empty statements *)
     while is_symbol st ";" do
@@ -893,13 +1000,13 @@ let parse_statement_string src =
   | _ -> Errors.semantic "expected a single statement"
 
 let parse_expr_string src =
-  let st = make (Lexer.tokenize src) in
+  let st = make src in
   let e = parse_expr st in
   if not (at_eof st) then error st "trailing input after expression";
   e
 
 let parse_select_string src =
-  let st = make (Lexer.tokenize src) in
+  let st = make src in
   let s = parse_select st in
   (* allow a trailing ';' *)
   ignore (accept_symbol st ";");

@@ -42,6 +42,9 @@ let trans_table_str = function
 let rec expr_str e =
   match e with
   | Ast.Lit v -> Value.to_string v
+  | Ast.Param _ -> "?"
+    (* the parser numbers '?' sequentially in statement order, so
+       printing them positionless round-trips *)
   | Ast.Col { qualifier = None; column } -> column
   | Ast.Col { qualifier = Some q; column } -> q ^ "." ^ column
   | Ast.Binop (op, a, b) ->
@@ -294,3 +297,11 @@ let statement_str = function
   | Ast.Stmt_show_rules -> "show rules"
   | Ast.Stmt_describe name -> "describe " ^ name
   | Ast.Stmt_explain target -> explain_target_str target
+  | Ast.Stmt_prepare (name, op) ->
+    Printf.sprintf "prepare %s as %s" name (op_str op)
+  | Ast.Stmt_execute (name, []) -> "execute " ^ name
+  | Ast.Stmt_execute (name, args) ->
+    Printf.sprintf "execute %s (%s)" name
+      (String.concat ", " (List.map Value.to_string args))
+  | Ast.Stmt_deallocate None -> "deallocate all"
+  | Ast.Stmt_deallocate (Some name) -> "deallocate " ^ name

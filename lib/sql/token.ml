@@ -30,7 +30,7 @@ let keywords =
     "RULES"; "CALL"; "CASE"; "ELSE"; "END"; "COUNT"; "SUM"; "AVG"; "MIN";
     "UNION"; "EXCEPT"; "INTERSECT"; "ALL"; "ASSERTION";
     "MAX"; "SHOW"; "TABLES"; "ACTIVATE"; "DEACTIVATE"; "DESCRIBE"; "INDEX";
-    "EXPLAIN"; "NAN"; "INFINITY"; "USING";
+    "EXPLAIN"; "NAN"; "INFINITY"; "USING"; "PREPARE"; "EXECUTE"; "DEALLOCATE";
   ]
 
 let keyword_set =

@@ -135,21 +135,21 @@ type block_result =
   | Done of Engine.outcome * (string list * string list) list
   | Failed of string
 
+let render_rels rels =
+  List.map
+    (fun r ->
+      ( Array.to_list r.Eval.cols,
+        List.sort compare
+          (List.map
+             (fun row ->
+               String.concat "|"
+                 (Array.to_list (Array.map Value.to_string row)))
+             r.Eval.rows) ))
+    rels
+
 let run_block s sql =
   match System.exec_block s sql with
-  | outcome, rels ->
-    Done
-      ( outcome,
-        List.map
-          (fun r ->
-            ( Array.to_list r.Eval.cols,
-              List.sort compare
-                (List.map
-                   (fun row ->
-                     String.concat "|"
-                       (Array.to_list (Array.map Value.to_string row)))
-                   r.Eval.rows) ))
-          rels )
+  | outcome, rels -> Done (outcome, render_rels rels)
   | exception Errors.Error e -> Failed (Errors.to_string e)
 
 let check_same_result sc ~context ~label a b =
@@ -274,6 +274,100 @@ let run_index_differential ?(check_every = 4) sc profile =
       sc.Scenario.sc_name si.Engine.rule_firings so.Engine.rule_firings;
   if so.Engine.rules_skipped <> 0 then
     failf "[%s] the linear oracle reported skipped rules" sc.Scenario.sc_name;
+  !rep
+
+(* ------------------------------------------------------------------ *)
+(* Prepared-statement differential: the same stream executed directly
+   and through PREPARE/EXECUTE.  Each generated statement is
+   parameterized ([Ast.parameterize_op] lifts its bindable literals
+   into `?` slots), prepared once per distinct shape, and then driven
+   by binding the lifted constants — so repetitions of a shape must
+   come back from the prepared-plan cache rather than re-compiling.    *)
+
+let run_prepared_block s names executed block =
+  let eng = System.engine s in
+  (* PREPARE is session state, not transaction state: new shapes are
+     registered before the block's transaction opens *)
+  let items =
+    List.map
+      (fun stmt ->
+        match stmt with
+        | Ast.Stmt_op op ->
+          let op', args = Ast.parameterize_op op in
+          let text = Pretty.op_str op' in
+          let name =
+            match Hashtbl.find_opt names text with
+            | Some n -> n
+            | None ->
+              let n = Printf.sprintf "w%d" (Hashtbl.length names) in
+              Hashtbl.add names text n;
+              Engine.prepare eng ~name:n op';
+              n
+          in
+          incr executed;
+          (name, Array.to_list args)
+        | _ ->
+          Errors.semantic "the prepared driver accepts data manipulation only")
+      (Parser.parse_script block)
+  in
+  match
+    Engine.begin_txn eng;
+    (try
+       let rels =
+         List.concat_map
+           (fun (name, args) ->
+             let p = Engine.find_prepared eng name in
+             let params = Engine.bind_params p args in
+             Engine.submit_cops eng ~params [ Engine.prepared_cop eng p ])
+           items
+       in
+       let outcome = Engine.commit eng in
+       (outcome, rels)
+     with e ->
+       if Engine.in_transaction eng then Engine.rollback_txn eng;
+       raise e)
+  with
+  | outcome, rels -> Done (outcome, render_rels rels)
+  | exception Errors.Error e -> Failed (Errors.to_string e)
+
+let run_prepared_differential ?(check_every = 4) sc profile =
+  Profile.validate profile;
+  let blocks = gen_blocks sc profile in
+  let direct = build sc profile in
+  let prepared = build sc profile in
+  let names = Hashtbl.create 64 in
+  let executed = ref 0 in
+  let rep = ref (empty_report sc.Scenario.sc_name) in
+  let compare_states context =
+    if state_digest sc direct <> state_digest sc prepared then
+      failf "[%s] %s: prepared-statement twin diverged from direct execution"
+        sc.Scenario.sc_name context
+  in
+  List.iteri
+    (fun i block ->
+      let context = Printf.sprintf "txn %d" (i + 1) in
+      let rd = run_block direct block in
+      let rp = run_prepared_block prepared names executed block in
+      check_same_result sc ~context ~label:"direct vs prepared" rd rp;
+      rep := { !rep with r_txns = !rep.r_txns + 1 };
+      count_outcome rep rd;
+      if (i + 1) mod check_every = 0 then begin
+        compare_states context;
+        check_invariants sc ~context prepared;
+        rep := { !rep with r_checks = !rep.r_checks + n_invariants sc }
+      end)
+    blocks;
+  compare_states "final";
+  check_invariants sc ~context:"final (direct)" direct;
+  check_invariants sc ~context:"final (prepared)" prepared;
+  rep := { !rep with r_checks = !rep.r_checks + (2 * n_invariants sc) };
+  let st = Engine.stats (System.engine prepared) in
+  let distinct = Hashtbl.length names in
+  if !executed > distinct && st.Engine.stmt_cache_hits = 0 then
+    failf
+      "[%s] prepared plans never hit the cache (%d statements over %d \
+       distinct shapes)"
+      sc.Scenario.sc_name !executed distinct;
   !rep
 
 (* ------------------------------------------------------------------ *)

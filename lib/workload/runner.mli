@@ -102,6 +102,16 @@ val run_index_differential :
     and firing order included), value digests, invariants and lifetime
     firing counts. *)
 
+val run_prepared_differential :
+  ?check_every:int -> Scenario.t -> Profile.t -> report
+(** The same stream executed directly and through PREPARE/EXECUTE:
+    each generated statement has its bindable literals lifted into
+    positional parameters ({!Ast.parameterize_op}), is prepared once
+    per distinct shape, and runs by binding the lifted constants —
+    asserting identical per-transaction results, value digests and
+    invariants, and that repeated shapes were served from the
+    prepared-plan cache. *)
+
 val soak :
   dir:string -> ?kills:int -> ?fault_every:int -> Scenario.t -> Profile.t ->
   report

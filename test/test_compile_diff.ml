@@ -276,6 +276,74 @@ let select_differential =
       true)
 
 (* ------------------------------------------------------------------ *)
+(* Part A1b: parameterized-statement differential.  The compiled path
+   executes a prepared select by reading the EXECUTE frame through
+   [Param] closures; the interpreter oracle substitutes the bound
+   constants into the tree and evaluates the resulting plain select.
+   The two must agree on results AND diagnostics — including type
+   errors a badly-typed binding provokes. *)
+
+let param_templates =
+  [|
+    (1, "select a, b from t where a = ?");
+    (2, "select a from t where a > ? and b < ? order by a");
+    (1, "select s from t where s = ? order by 1");
+    (2, "select a from t where a in (?, ?) order by a");
+    (1, "select count(*) from t where b = ?");
+    (2, "select t.a, u.c from t, u where t.a = u.a and u.c > ? and t.b <> ?");
+    (1, "select a from t where b = ? group by a having count(*) >= 1");
+    (1, "select a from t where exists (select * from u where u.a = t.a and \
+         u.c = ?)");
+    (2, "select a, ? from t where b between ? and 30 order by a");
+    (1, "select s || ? from t order by 1");
+  |]
+
+let gen_param_value st =
+  let open QCheck.Gen in
+  match int_bound 5 st with
+  | 0 -> Value.Null
+  | 1 | 2 -> Value.Int (int_bound 20 st)
+  | 3 -> Value.Float (float_of_int (int_bound 30 st) /. 2.0)
+  | _ -> Value.Str (oneofl [ "x"; "yy"; "z" ] st)
+
+let gen_param_case st =
+  let open QCheck.Gen in
+  let nparams, template =
+    param_templates.(int_bound (Array.length param_templates - 1) st)
+  in
+  let args = Array.init nparams (fun _ -> gen_param_value st) in
+  (template, args)
+
+let param_differential =
+  QCheck.Test.make ~count:400
+    ~name:"compiled EXECUTE (frame binding) = interpreted (substitution)"
+    (QCheck.make gen_param_case ~print:(fun (tpl, args) ->
+         Printf.sprintf "%s / (%s)" tpl
+           (String.concat ", "
+              (List.map Value.to_string (Array.to_list args)))))
+    (fun (template, args) ->
+      let sql = Printf.sprintf "%s / (%s)" template
+          (String.concat ", "
+             (List.map Value.to_string (Array.to_list args)))
+      in
+      let s =
+        match Parser.parse_statement_string ("prepare p as " ^ template) with
+        | Ast.Stmt_prepare (_, Ast.Select_op s) -> s
+        | _ -> QCheck.Test.fail_reportf "template is not a select: %s" template
+      in
+      let resolve = Eval.base_resolver fixture_db in
+      let substituted =
+        match Ast.subst_params_op args (Ast.Select_op s) with
+        | Ast.Select_op s' -> s'
+        | _ -> assert false
+      in
+      check_observed sql
+        (observe (fun () -> Eval.eval_select resolve substituted))
+        (observe (fun () ->
+             Compile.eval_select ~params:args resolve fixture_db s));
+      true)
+
+(* ------------------------------------------------------------------ *)
 (* Part A2: rule-condition differential                                *)
 
 (* Closed predicates, the shape of rule conditions: no outer row, all
@@ -564,6 +632,7 @@ let test_corpus_not_vacuous () =
 let suite =
   [
     qtest select_differential;
+    qtest param_differential;
     qtest predicate_differential;
     qtest engine_differential;
     Alcotest.test_case "differential corpus is not vacuous" `Quick

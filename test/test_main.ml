@@ -27,6 +27,7 @@ let () =
       ("priority", Test_priority.suite);
       ("explain", Test_explain.suite);
       ("compile-diff", Test_compile_diff.suite);
+      ("prepared", Test_prepared.suite);
       ("rule-index", Test_rule_index.suite);
     ("fault-injection", Test_fault_injection.suite);
       ("recovery", Test_recovery.suite);

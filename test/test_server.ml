@@ -572,6 +572,54 @@ let test_batch_append_failure_fails_all () =
 (* ------------------------------------------------------------------ *)
 (* The socket layer: dead clients                                      *)
 
+(* Prepared statements over sessions: the namespace is per-session (a
+   fork's registry dies with the fork; the session re-installs), reads
+   keep their compiled plan across EXECUTEs at one version, and DDL
+   from another session invalidates — never stales — a prepared plan. *)
+let test_prepared_sessions () =
+  let srv = Server.create Server.Memory in
+  let a = Server.open_session srv in
+  let b = Server.open_session srv in
+  ignore (sx srv a "create table t (a int, b int)");
+  ignore (sx srv a "insert into t values (1, 10); insert into t values (2, 20)");
+  ignore (sx srv a "prepare by_a as select b from t where a = ?");
+  Alcotest.(check bool) "EXECUTE of a prepared select" true
+    (contains (sx srv a "execute by_a (2)") "(1 row)");
+  Alcotest.(check bool) "re-EXECUTE with another binding" true
+    (contains (sx srv a "execute by_a (1)") "(1 row)");
+  (* the namespace is the session's, not the server's *)
+  Alcotest.(check bool) "other sessions do not see the name" true
+    (contains (sx_err srv b "execute by_a (1)") "unknown prepared statement");
+  ignore (sx srv b "prepare by_a as select a from t where b = ?");
+  Alcotest.(check bool) "same name, independent statement" true
+    (contains (sx srv b "execute by_a (20)") "(1 row)");
+  (* prepared DML autocommits like any operation *)
+  ignore (sx srv a "prepare ins as insert into t values (?, ?)");
+  let v0 = Server.version srv in
+  ignore (sx srv a "execute ins (3, 30)");
+  Alcotest.(check int) "prepared DML publishes a version" (v0 + 1)
+    (Server.version srv);
+  (* DDL from another session: the next EXECUTE sees the new catalog *)
+  ignore (sx srv b "create index t_a_ix on t (a)");
+  Alcotest.(check bool) "prepared select survives foreign DDL" true
+    (contains (sx srv a "execute by_a (3)") "(1 row)");
+  (* EXECUTE inside an explicit transaction, then rollback *)
+  ignore (sx srv a "begin; execute ins (4, 40); rollback");
+  Alcotest.(check bool) "rolled-back prepared insert absent" true
+    (contains (sx srv a "select * from t") "(3 rows)");
+  (* PREPARE survives a rollback (session state, not txn state) *)
+  ignore (sx srv a "begin; prepare tmp as select a from t; rollback");
+  Alcotest.(check bool) "PREPARE is not transactional" true
+    (contains (sx srv a "execute tmp") "(3 rows)");
+  (* DEALLOCATE then re-PREPARE under the same name must not run the
+     stale plan out of a cached fork *)
+  ignore (sx srv a "deallocate by_a");
+  ignore (sx srv a "prepare by_a as select a + 100 from t where a = ?");
+  Alcotest.(check bool) "re-PREPARE replaces the plan" true
+    (contains (sx srv a "execute by_a (1)") "101");
+  Server.close_session srv a;
+  Server.close_session srv b
+
 let test_dead_client () =
   let srv = Server.create Server.Memory in
   let listener = Server.start ~port:0 srv in
@@ -837,6 +885,8 @@ let suite =
       test_batch_fsync_failure_fails_all;
     Alcotest.test_case "batch append failure leaves nothing durable" `Quick
       test_batch_append_failure_fails_all;
+    Alcotest.test_case "prepared statements are per-session" `Quick
+      test_prepared_sessions;
     Alcotest.test_case "dead clients roll back and disconnect" `Quick
       test_dead_client;
     Alcotest.test_case "concurrent sessions equal serial replay" `Slow

@@ -170,6 +170,22 @@ let run_short_scenario name () =
       Alcotest.(check bool) "invariants actually checked" true
         (r.Runner.r_checks > 0))
 
+(* The prepared-statement twin: the same stream through
+   PREPARE/EXECUTE (literals lifted into parameters, one PREPARE per
+   distinct statement shape) must match direct execution transaction
+   by transaction, and repeated shapes must be served from the
+   prepared-plan cache. *)
+let run_prepared_scenario name () =
+  with_seed_reported short_profile.Profile.seed (fun () ->
+      let sc = Scenario.get name in
+      let r = Runner.run_prepared_differential sc short_profile in
+      Alcotest.(check int) "all transactions driven" short_profile.Profile.txns
+        r.Runner.r_txns;
+      Alcotest.(check bool) "work actually committed" true
+        (r.Runner.r_committed > 0);
+      Alcotest.(check bool) "invariants actually checked" true
+        (r.Runner.r_checks > 0))
+
 (* Non-vacuity of the enforcement scenarios: the generated traffic must
    actually trip the rollback-style rules, otherwise the invariants are
    vacuous. *)
@@ -289,6 +305,11 @@ let suite =
   @ List.map
       (fun name ->
         Alcotest.test_case ("short: " ^ name) `Quick (run_short_scenario name))
+      (Scenario.names ())
+  @ List.map
+      (fun name ->
+        Alcotest.test_case ("prepared: " ^ name) `Quick
+          (run_prepared_scenario name))
       (Scenario.names ())
   @ [
       Alcotest.test_case "enforcement rules not vacuous" `Quick

@@ -11,7 +11,18 @@ Every machine-readable benchmark record the harness emits must:
     (``tiny`` must be false — tiny-mode numbers are meaningless and
     exist only to prove the experiments execute).
 
-Usage:  check_bench.py [--checked-in] FILE [FILE ...]
+``--compare`` reads the whole set of records together and checks the
+trajectory-level invariants that individual-file validation cannot:
+
+  - every result row within a file carries the same key schema (a new
+    arm or a renamed field is schema drift and must be deliberate);
+  - the E21 prepared-statement record is present — the statement cache
+    is load-bearing and its benchmark must not silently disappear;
+  - E21's claim holds: at the ~1 KB statement size, EXECUTE against
+    the cached plan beats parse+compile — by at least 5x in a
+    full-size record, or at all in a tiny smoke record.
+
+Usage:  check_bench.py [--checked-in] [--compare] FILE [FILE ...]
 """
 
 import json
@@ -66,10 +77,86 @@ def check_file(filename, checked_in):
     return problems
 
 
+def check_schema_consistency(filename, doc, problems):
+    """All result rows in one record must share a key schema."""
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return
+    first = results[0]
+    if not isinstance(first, dict):
+        return
+    schema = set(first.keys())
+    for i, row in enumerate(results[1:], start=1):
+        if isinstance(row, dict) and set(row.keys()) != schema:
+            problems.append(
+                f"schema drift: results[{i}] keys {sorted(row.keys())} "
+                f"!= results[0] keys {sorted(schema)}"
+            )
+
+
+def check_e21(filename, doc, problems):
+    """The prepared-statement claim: cached EXECUTE beats parse+compile
+    at the 1 KB statement size (5x when full-size, >1x when tiny)."""
+    by_arm = {}
+    for row in doc.get("results", []):
+        if isinstance(row, dict) and row.get("size") == "1kb":
+            by_arm[row.get("arm")] = row.get("ns_per_op")
+    compile_ns = by_arm.get("parse_compile")
+    cached_ns = by_arm.get("execute_cached")
+    if not isinstance(compile_ns, (int, float)) or not isinstance(
+        cached_ns, (int, float)
+    ):
+        problems.append("E21 record lacks 1kb parse_compile/execute_cached rows")
+        return
+    if cached_ns <= 0:
+        problems.append(f"E21 execute_cached ns_per_op not positive: {cached_ns}")
+        return
+    factor = 1.0 if doc.get("tiny") else 5.0
+    if compile_ns < factor * cached_ns:
+        problems.append(
+            f"E21 claim violated at 1kb: execute_cached {cached_ns:.0f} ns "
+            f"must be at least {factor:g}x faster than parse_compile "
+            f"{compile_ns:.0f} ns"
+        )
+
+
+def compare_files(files):
+    """Cross-file trajectory checks; returns a list of problem strings."""
+    problems = []
+    docs = {}
+    for filename in files:
+        try:
+            with open(filename) as f:
+                docs[filename] = json.load(f)
+        except (OSError, ValueError) as exc:
+            problems.append(f"{filename}: unreadable or invalid JSON: {exc}")
+    for filename, doc in docs.items():
+        if isinstance(doc, dict):
+            local = []
+            check_schema_consistency(filename, doc, local)
+            problems.extend(f"{filename}: {p}" for p in local)
+    e21_docs = [
+        (filename, doc)
+        for filename, doc in docs.items()
+        if isinstance(doc, dict) and doc.get("experiment") == "E21"
+    ]
+    if not e21_docs:
+        problems.append(
+            "no E21 (prepared statements) record among "
+            + ", ".join(sorted(docs)) if docs else "no files readable"
+        )
+    for filename, doc in e21_docs:
+        local = []
+        check_e21(filename, doc, local)
+        problems.extend(f"{filename}: {p}" for p in local)
+    return problems
+
+
 def main(argv):
     args = argv[1:]
     checked_in = "--checked-in" in args
-    files = [a for a in args if a != "--checked-in"]
+    compare = "--compare" in args
+    files = [a for a in args if a not in ("--checked-in", "--compare")]
     if not files:
         print(__doc__.strip(), file=sys.stderr)
         return 2
@@ -83,6 +170,14 @@ def main(argv):
                 print(f"{filename}: {p}", file=sys.stderr)
         else:
             print(f"{filename}: ok")
+    if compare:
+        problems = compare_files(files)
+        if problems:
+            failed = True
+            for p in problems:
+                print(p, file=sys.stderr)
+        else:
+            print(f"compare: ok ({len(files)} records)")
     return 1 if failed else 0
 
 
